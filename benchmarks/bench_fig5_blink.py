@@ -1,0 +1,59 @@
+"""Figure 5: the periodic LED Blink comparison.
+
+Paper: on the mote, 16 of 523 active cycles do the blinking -- the other
+507 are timer-interrupt servicing and the TinyOS scheduler; one blink
+costs 1960 nJ.  The SNAP version takes 41 cycles and 6.8 nJ at 1.8 V /
+0.5 nJ at 0.6 V.  Code size: 184 B (SNAP) vs 1.4 KB (TinyOS).
+"""
+
+import pytest
+
+from repro.baseline import build_avr_blink
+from repro.bench.harness import blink_comparison
+from repro.bench.reporting import format_table
+from repro.netstack import build_blink_app
+
+
+def test_fig5_blink_comparison(benchmark):
+    result = benchmark.pedantic(blink_comparison, rounds=1, iterations=1)
+
+    rows = [
+        ["SNAP cycles/iteration", "%.0f" % result.snap_cycles, "41"],
+        ["SNAP energy @1.8V (nJ)", "%.1f" % (result.snap_energy_18 * 1e9), "6.8"],
+        ["SNAP energy @0.6V (nJ)", "%.2f" % (result.snap_energy_06 * 1e9), "0.5"],
+        ["Mote cycles/iteration", "%.0f" % result.avr_cycles, "523"],
+        ["Mote useful cycles", "%.0f" % result.avr_useful_cycles, "16"],
+        ["Mote overhead cycles", "%.0f" % result.avr_overhead_cycles, "507"],
+        ["Mote energy (nJ)", "%.0f" % (result.avr_energy * 1e9), "1960"],
+    ]
+    print()
+    print(format_table(["metric", "measured", "paper"], rows,
+                       title="Figure 5: periodic LED Blink"))
+
+    # The mote spends >90% of its cycles on scheduling overhead.
+    assert result.avr_overhead_cycles / result.avr_cycles > 0.9
+    assert result.avr_cycles == pytest.approx(523, rel=0.25)
+    assert result.avr_useful_cycles == pytest.approx(16, abs=6)
+
+    # SNAP needs an order of magnitude fewer cycles ...
+    assert result.snap_cycles == pytest.approx(41, rel=0.4)
+    assert result.avr_cycles / result.snap_cycles > 10
+    # ... and two-plus orders of magnitude less energy.
+    assert result.avr_energy / result.snap_energy_18 > 100
+    assert result.avr_energy / result.snap_energy_06 > 1000
+    assert result.snap_energy_18 == pytest.approx(6.8e-9, rel=0.5)
+    assert result.snap_energy_06 == pytest.approx(0.5e-9, rel=0.5)
+
+
+def test_fig5_code_sizes(benchmark):
+    """Paper: 184 bytes for the SNAP Blink vs 1.4 KB for TinyOS."""
+
+    def sizes():
+        return (build_blink_app().text_size_bytes,
+                build_avr_blink().size_bytes)
+
+    snap_bytes, avr_bytes = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    print("\nBlink code size: SNAP %dB (paper 184B), TinyOS-style %dB "
+          "(paper ~1.4KB)" % (snap_bytes, avr_bytes))
+    assert snap_bytes < 500
+    assert avr_bytes > snap_bytes  # the runtime machinery costs flash too

@@ -1,0 +1,59 @@
+"""Extension: network-level energy and lifetime.
+
+Not a table in the paper, but its introduction's motivating claim: the
+design goal "is to maximize the lifetime of a network".  This bench runs
+the convergecast data-gathering workload across a multi-hop chain of
+simulated SNAP/LE nodes and checks the network-level consequences of the
+per-instruction numbers reproduced elsewhere: nanowatt-scale processor
+power under realistic traffic, the relay funnel effect, and a
+two-orders-of-magnitude lifetime advantage over a mote-class MCU running
+the same instruction stream.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.network.experiments import convergecast, lifetime_comparison
+
+
+def run_experiment():
+    result = convergecast(chain_length=4, period_s=0.1, duration_s=10.0)
+    comparison = lifetime_comparison(result, battery_j=2000.0)
+    return result, comparison
+
+
+def test_convergecast_lifetime(benchmark):
+    result, comparison = benchmark.pedantic(run_experiment,
+                                            rounds=1, iterations=1)
+
+    rows = [[str(node_id), str(report.instructions),
+             str(report.packets_sent), str(report.packets_forwarded),
+             "%.1f" % (report.average_power_w * 1e9)]
+            for node_id, report in sorted(result.nodes.items())]
+    print()
+    print(format_table(["node", "instructions", "sent", "fwd", "nW"],
+                       rows, title="Convergecast chain (10s, 100ms period)"))
+    print("sink deliveries: %d; collisions: %d"
+          % (result.sink_deliveries, result.channel_collisions))
+    print("lifetime: SNAP %.0f years vs mote %.2f years (%.0fx)"
+          % (comparison.snap_lifetime_s / 3.15e7,
+             comparison.mote_lifetime_s / 3.15e7, comparison.ratio))
+
+    # The workload actually ran: every reporter's samples reached the
+    # sink (3 reporters x ~99 periods).
+    assert result.sink_deliveries >= 280
+    assert result.channel_collisions < 30
+
+    # Relays forward their descendants' traffic (the funnel).
+    forwards = {nid: rep.packets_forwarded
+                for nid, rep in result.nodes.items()}
+    assert forwards[2] > forwards[3] > forwards[4]
+
+    # Every node's processor stays in the nanowatt regime (Section 4.7's
+    # claim under a realistic network workload).
+    for report in result.nodes.values():
+        assert report.average_power_w < 1e-6
+
+    # The lifetime gap vs a mote-class MCU is at least two orders of
+    # magnitude when the processor dominates the budget.
+    assert comparison.ratio > 100

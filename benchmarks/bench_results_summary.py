@@ -1,0 +1,56 @@
+"""Section 4.7: results summary.
+
+Paper: handlers run in 70-250 instructions, costing 15-55 nJ at 1.8 V
+and 1.6-5.8 nJ at 0.6 V.  At less than ten events per second this is
+150-550 nW of active power at 1.8 V and 16-58 nW at 0.6 V -- orders of
+magnitude below a conventional microcontroller.
+"""
+
+import pytest
+
+from repro.bench.harness import results_summary
+from repro.bench.reporting import format_table
+
+PAPER = {
+    1.8: {"energy_nj": (15.0, 55.0), "power_nw": (150.0, 550.0)},
+    0.6: {"energy_nj": (1.6, 5.8), "power_nw": (16.0, 58.0)},
+}
+
+
+def run_summary():
+    return {voltage: results_summary(voltage) for voltage in (1.8, 0.6)}
+
+
+def test_results_summary(benchmark):
+    results = benchmark.pedantic(run_summary, rounds=1, iterations=1)
+
+    rows = []
+    for voltage, summary in sorted(results.items(), reverse=True):
+        paper = PAPER[voltage]
+        rows.append([
+            "%.1fV" % voltage,
+            "%.1f - %.1f" % (summary.min_handler_energy * 1e9,
+                             summary.max_handler_energy * 1e9),
+            "%.1f - %.1f" % paper["energy_nj"],
+            "%.0f - %.0f" % (summary.power_at_10hz_low * 1e9,
+                             summary.power_at_10hz_high * 1e9),
+            "%.0f - %.0f" % paper["power_nw"],
+        ])
+    print()
+    print(format_table(
+        ["V", "handler nJ", "paper nJ", "power @10Hz nW", "paper nW"],
+        rows, title="Section 4.7: results summary"))
+
+    for voltage, summary in results.items():
+        low_nj, high_nj = PAPER[voltage]["energy_nj"]
+        assert summary.min_handler_energy * 1e9 == pytest.approx(
+            low_nj, rel=0.45)
+        assert summary.max_handler_energy * 1e9 == pytest.approx(
+            high_nj, rel=0.45)
+        # Power at ten events/second is simply 10x the handler energy;
+        # confirm the nanowatt regime the paper emphasizes.
+        assert summary.power_at_10hz_high < 1e-6  # under a microwatt
+    # Energy scales ~9x between 1.8V and 0.6V (CV^2).
+    ratio = (results[1.8].max_handler_energy
+             / results[0.6].max_handler_energy)
+    assert ratio == pytest.approx(9.0, rel=0.1)

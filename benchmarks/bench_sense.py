@@ -1,0 +1,34 @@
+"""Section 4.6: the Sense application comparison.
+
+Paper: one sample/average/display iteration takes 1118 cycles on the
+mote, 781 of them (over 70%) in interrupt service and scheduler
+overhead; the SNAP version needs 261 cycles.
+"""
+
+import pytest
+
+from repro.bench.harness import sense_comparison
+from repro.bench.reporting import format_table
+
+
+def test_sense_comparison(benchmark):
+    result = benchmark.pedantic(sense_comparison, rounds=1, iterations=1)
+
+    rows = [
+        ["SNAP cycles/iteration", "%.0f" % result.snap_cycles, "261"],
+        ["Mote cycles/iteration", "%.0f" % result.avr_cycles, "1118"],
+        ["Mote overhead fraction",
+         "%.0f%%" % (100 * result.avr_overhead_fraction), ">70%"],
+        ["Mote/SNAP ratio",
+         "%.1fx" % (result.avr_cycles / result.snap_cycles), "4.3x"],
+    ]
+    print()
+    print(format_table(["metric", "measured", "paper"], rows,
+                       title="Section 4.6: Sense"))
+
+    assert result.snap_cycles == pytest.approx(261, rel=0.3)
+    assert result.avr_cycles == pytest.approx(1118, rel=0.45)
+    # The headline shape: most mote cycles are overhead, and SNAP needs
+    # several times fewer cycles in total.
+    assert result.avr_overhead_fraction > 0.70
+    assert result.avr_cycles / result.snap_cycles > 2.0

@@ -1,0 +1,98 @@
+"""Table 1: handler code statistics with energy numbers.
+
+Paper (dynamic instructions / E at 1.8 V / E at 0.6 V):
+
+    Packet Transmission   70   15.1 nJ   1.6 nJ
+    Packet Reception     103   22.5 nJ   2.5 nJ
+    AODV Route Reply     224   48.1 nJ   5.2 nJ
+    AODV Forward         245   53.7 nJ   5.9 nJ
+    Temperature App      140   30.5 nJ   3.4 nJ
+    Threshold App        155   33.7 nJ   3.8 nJ
+
+with energy per instruction ~215-219 pJ at 1.8 V, ~54-56 at 0.9 V, and
+~23-24 at 0.6 V; total code size ~2.8 KB.
+"""
+
+import pytest
+
+from repro.bench.harness import VOLTAGES, handler_table
+from repro.bench.reporting import format_table
+from repro.netstack import build_temperature_app
+from repro.netstack.drivers import build_aodv_node
+
+PAPER_EPI_PJ = {1.8: 217.0, 0.9: 54.8, 0.6: 23.8}
+
+
+def run_table1():
+    return {voltage: handler_table(voltage) for voltage in VOLTAGES}
+
+
+def test_table1_handler_statistics(benchmark):
+    results = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    rows = []
+    for index, row18 in enumerate(results[1.8]):
+        row09 = results[0.9][index]
+        row06 = results[0.6][index]
+        rows.append([
+            row18.name,
+            "%d" % row18.instructions, "%d" % row18.paper_instructions,
+            "%.1f" % (row18.energy * 1e9),
+            "%.1f" % (row18.energy_per_instruction * 1e12),
+            "%.1f" % (row09.energy * 1e9),
+            "%.1f" % (row06.energy * 1e9),
+            "%.1f" % (row06.energy_per_instruction * 1e12),
+        ])
+    print()
+    print(format_table(
+        ["Software task", "ins", "paper", "E@1.8 nJ", "pJ/ins@1.8",
+         "E@0.9 nJ", "E@0.6 nJ", "pJ/ins@0.6"],
+        rows, title="Table 1: handler statistics"))
+
+    for voltage in VOLTAGES:
+        for row in results[voltage]:
+            # Dynamic instruction counts within 1.6x of the paper's.
+            ratio = row.instructions / row.paper_instructions
+            assert 0.6 <= ratio <= 1.6, (row.name, voltage, ratio)
+            # Energy per instruction near the paper's per-voltage value.
+            epi = row.energy_per_instruction * 1e12
+            assert epi == pytest.approx(PAPER_EPI_PJ[voltage], rel=0.15), \
+                (row.name, voltage, epi)
+
+    # Ordering of handler costs is preserved: TX < RX < the two routing
+    # handlers.  (The paper has RREP slightly below Forward; this
+    # reproduction's RREQ path also performs flood duplicate
+    # suppression and reverse-route setup, which pushes RREP to
+    # roughly Forward's cost -- see EXPERIMENTS.md.)
+    names = [row.name for row in results[1.8]]
+    costs = {row.name: row.instructions for row in results[1.8]}
+    assert costs["Packet Transmission"] < costs["Packet Reception"]
+    assert costs["Packet Reception"] < costs["AODV Route Reply"]
+    assert costs["Packet Reception"] < costs["AODV Forward"]
+    assert (abs(costs["AODV Route Reply"] - costs["AODV Forward"])
+            < 0.4 * costs["AODV Forward"])
+    assert "Temperature App" in names and "Threshold App" in names
+
+    # Section 4.5: handler energy is "in the tens of nanojoules" at 1.8V
+    # and single-digit nJ at 0.6V.
+    for row in results[1.8]:
+        assert 5e-9 < row.energy < 100e-9
+    for row in results[0.6]:
+        assert 0.5e-9 < row.energy < 10e-9
+
+
+def test_code_size_near_paper(benchmark):
+    """Section 4.5: total application code ~2.8 KB, fitting the 4 KB IMEM
+    with room to spare."""
+
+    def sizes():
+        return (build_aodv_node(1).text_size_bytes,
+                build_temperature_app().text_size_bytes)
+
+    network_bytes, temperature_bytes = benchmark.pedantic(
+        sizes, rounds=1, iterations=1)
+    total = network_bytes + temperature_bytes
+    print("\nCode size: network node %dB + temperature app %dB = %dB "
+          "(paper: ~2.8KB total)" % (network_bytes, temperature_bytes, total))
+    assert total < 4096  # fits IMEM
+    assert 1000 < total < 3600

@@ -1,0 +1,58 @@
+"""Section 4.3: performance and wake-up latency.
+
+Paper: 240 MIPS at 1.8 V, 61 at 0.9 V, 28 at 0.6 V; idle-to-active in
+18 gate delays = 2.5 / 9.8 / 21.4 ns.  (The Atmel baseline: 4 MIPS and
+4-65 ms wakeups.)
+"""
+
+import pytest
+
+from repro.baseline.energy import (
+    WAKEUP_LATENCY_POWER_DOWN_S,
+    WAKEUP_LATENCY_POWER_SAVE_S,
+)
+from repro.bench.harness import VOLTAGES, throughput_and_wakeup
+from repro.bench.reporting import format_table
+
+PAPER_MIPS = {1.8: 240.0, 0.9: 61.0, 0.6: 28.0}
+PAPER_WAKEUP_NS = {1.8: 2.5, 0.9: 9.8, 0.6: 21.4}
+
+
+def run_all_voltages():
+    return {voltage: throughput_and_wakeup(voltage) for voltage in VOLTAGES}
+
+
+def test_throughput_and_wakeup_latency(benchmark):
+    results = benchmark.pedantic(run_all_voltages, rounds=1, iterations=1)
+
+    rows = []
+    for voltage in VOLTAGES:
+        result = results[voltage]
+        rows.append(["%.1f" % voltage,
+                     "%.0f" % result.mips, "%.0f" % PAPER_MIPS[voltage],
+                     "%.1f" % (result.wakeup_latency_s * 1e9),
+                     "%.1f" % PAPER_WAKEUP_NS[voltage]])
+    print()
+    print(format_table(
+        ["V", "MIPS", "paper MIPS", "wakeup ns", "paper ns"],
+        rows, title="Section 4.3: throughput and wakeup latency"))
+
+    for voltage in VOLTAGES:
+        result = results[voltage]
+        # Throughput within 15% of the paper at each published point.
+        assert result.mips == pytest.approx(PAPER_MIPS[voltage], rel=0.15)
+        # Wakeup latency is calibrated exactly (18 gate delays).
+        assert result.wakeup_latency_s * 1e9 == pytest.approx(
+            PAPER_WAKEUP_NS[voltage], rel=0.01)
+
+    # The scaling ratios between voltages are the paper's own.
+    assert (results[1.8].mips / results[0.9].mips
+            == pytest.approx(240 / 61, rel=0.05))
+    assert (results[1.8].mips / results[0.6].mips
+            == pytest.approx(240 / 28, rel=0.05))
+
+    # SNAP/LE wakes "on the order of nanoseconds instead of milliseconds":
+    # five to seven orders of magnitude faster than the Atmel deep sleeps.
+    slowest_snap = results[0.6].wakeup_latency_s
+    assert WAKEUP_LATENCY_POWER_SAVE_S / slowest_snap > 1e5
+    assert WAKEUP_LATENCY_POWER_DOWN_S / slowest_snap > 1e6

@@ -1,0 +1,22 @@
+"""Errors raised by the assembler and linker."""
+
+
+class AsmError(Exception):
+    """A problem in assembly source; carries file/line context."""
+
+    def __init__(self, message, line=None, source_name=None):
+        self.line = line
+        self.source_name = source_name
+        location = ""
+        if source_name is not None:
+            location += "%s:" % source_name
+        if line is not None:
+            location += "%d: " % line
+        elif location:
+            location += " "
+        super().__init__(location + message)
+
+
+class LinkError(Exception):
+    """A problem combining object modules (duplicate/undefined symbols,
+    image overflow, ...)."""

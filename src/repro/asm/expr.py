@@ -1,0 +1,164 @@
+"""Operand-expression parsing for the assembler.
+
+Expressions support integer literals (decimal, ``0x`` hex, ``0b`` binary,
+``'c'`` character), symbol names, unary minus, ``+``/``-``/``*`` and
+parentheses.  An expression must reduce to either a pure constant or to
+``symbol + constant`` (so it can become a relocation); anything else -- for
+example multiplying a symbol -- is rejected.
+"""
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.asm.errors import AsmError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<hex>0[xX][0-9a-fA-F]+)"
+    r"|(?P<bin>0[bB][01]+)"
+    r"|(?P<dec>\d+)"
+    r"|(?P<char>'(?:\\.|[^'\\])')"
+    r"|(?P<name>[.\w$][\w.$]*)"
+    r"|(?P<op>[-+*()])"
+    r")"
+)
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39}
+
+
+@dataclass(frozen=True)
+class ExprValue:
+    """Result of expression evaluation: ``constant`` or ``symbol+constant``."""
+
+    symbol: Optional[str]
+    constant: int
+
+    @property
+    def is_constant(self):
+        return self.symbol is None
+
+
+def _tokenize(text, line):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise AsmError("bad expression near %r" % remainder, line=line)
+        position = match.end()
+        if match.lastgroup == "hex":
+            tokens.append(("num", int(match.group("hex"), 16)))
+        elif match.lastgroup == "bin":
+            tokens.append(("num", int(match.group("bin"), 2)))
+        elif match.lastgroup == "dec":
+            tokens.append(("num", int(match.group("dec"))))
+        elif match.lastgroup == "char":
+            body = match.group("char")[1:-1]
+            if body.startswith("\\"):
+                if body[1] not in _ESCAPES:
+                    raise AsmError("unknown escape %r" % body, line=line)
+                tokens.append(("num", _ESCAPES[body[1]]))
+            else:
+                tokens.append(("num", ord(body)))
+        elif match.lastgroup == "name":
+            tokens.append(("name", match.group("name")))
+        else:
+            tokens.append(("op", match.group("op")))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens, line, lookup):
+        self._tokens = tokens
+        self._index = 0
+        self._line = line
+        self._lookup = lookup
+
+    def parse(self):
+        value = self._additive()
+        if self._index != len(self._tokens):
+            raise AsmError("trailing junk in expression", line=self._line)
+        return value
+
+    def _peek(self):
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return (None, None)
+
+    def _next(self):
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _additive(self):
+        value = self._multiplicative()
+        while self._peek() == ("op", "+") or self._peek() == ("op", "-"):
+            _, operator = self._next()
+            right = self._multiplicative()
+            value = self._combine_add(value, right, operator)
+        return value
+
+    def _multiplicative(self):
+        value = self._unary()
+        while self._peek() == ("op", "*"):
+            self._next()
+            right = self._unary()
+            if not (value.is_constant and right.is_constant):
+                raise AsmError("cannot multiply a symbol", line=self._line)
+            value = ExprValue(None, value.constant * right.constant)
+        return value
+
+    def _unary(self):
+        if self._peek() == ("op", "-"):
+            self._next()
+            value = self._unary()
+            if not value.is_constant:
+                raise AsmError("cannot negate a symbol", line=self._line)
+            return ExprValue(None, -value.constant)
+        return self._primary()
+
+    def _primary(self):
+        kind, payload = self._next()
+        if kind == "num":
+            return ExprValue(None, payload)
+        if kind == "name":
+            resolved = self._lookup(payload)
+            if resolved is not None:
+                return ExprValue(None, resolved)
+            return ExprValue(payload, 0)
+        if (kind, payload) == ("op", "("):
+            value = self._additive()
+            if self._next() != ("op", ")"):
+                raise AsmError("missing ')' in expression", line=self._line)
+            return value
+        raise AsmError("bad expression", line=self._line)
+
+    def _combine_add(self, left, right, operator):
+        if operator == "+":
+            if left.symbol is not None and right.symbol is not None:
+                raise AsmError("cannot add two symbols", line=self._line)
+            symbol = left.symbol or right.symbol
+            return ExprValue(symbol, left.constant + right.constant)
+        if right.symbol is not None:
+            raise AsmError("cannot subtract a symbol", line=self._line)
+        return ExprValue(left.symbol, left.constant - right.constant)
+
+
+def evaluate(text, line=None, lookup=None):
+    """Evaluate *text* to an :class:`ExprValue`.
+
+    *lookup* maps a name to an integer (e.g. ``.equ`` constants) or ``None``
+    when the name should stay symbolic (a label for the linker).
+    """
+    if lookup is None:
+        lookup = lambda name: None
+    tokens = _tokenize(text, line)
+    if not tokens:
+        raise AsmError("empty expression", line=line)
+    return _Parser(tokens, line, lookup).parse()

@@ -1,0 +1,99 @@
+"""Linker: combine :class:`ObjectModule` s into a loadable :class:`Program`.
+
+Modules are laid out in the order given; the first module's ``.text``
+therefore starts at IMEM address 0 and should contain the boot code.
+IMEM and DMEM are separate 4KB (2048-word) memories (paper, Section 3.1),
+so text and data addresses both start at zero.
+"""
+
+from repro.asm.errors import LinkError
+from repro.asm.objectfile import (
+    RELOC_ABS16,
+    RELOC_BRANCH6,
+    SECTION_DATA,
+    SECTION_TEXT,
+    Program,
+)
+from repro.isa.instruction import BRANCH_OFFSET_MAX, BRANCH_OFFSET_MIN
+
+#: 4KB banks of 16-bit words.
+IMEM_WORDS = 2048
+DMEM_WORDS = 2048
+
+
+def link(modules, imem_words=IMEM_WORDS, dmem_words=DMEM_WORDS):
+    """Link *modules* into a :class:`Program`."""
+    text_bases = {}
+    data_bases = {}
+    imem = []
+    dmem = []
+    for module in modules:
+        text_bases[module.name] = len(imem)
+        data_bases[module.name] = len(dmem)
+        imem.extend(module.text)
+        dmem.extend(module.data)
+
+    if len(imem) > imem_words:
+        raise LinkError("program text (%d words) exceeds IMEM (%d words)"
+                        % (len(imem), imem_words))
+    if len(dmem) > dmem_words:
+        raise LinkError("program data (%d words) exceeds DMEM (%d words)"
+                        % (len(dmem), dmem_words))
+
+    bases = {SECTION_TEXT: text_bases, SECTION_DATA: data_bases}
+
+    global_symbols = {}
+    for module in modules:
+        for symbol in module.symbols.values():
+            if not symbol.exported:
+                continue
+            if symbol.name in global_symbols:
+                raise LinkError("duplicate symbol %r (modules %r and %r)"
+                                % (symbol.name,
+                                   global_symbols[symbol.name][0],
+                                   module.name))
+            address = bases[symbol.section][module.name] + symbol.offset
+            global_symbols[symbol.name] = (module.name, address)
+
+    for module in modules:
+        for reloc in module.relocations:
+            target = _resolve(module, reloc, bases, global_symbols)
+            _patch(module, reloc, target, bases,
+                   imem if reloc.section == SECTION_TEXT else dmem)
+
+    symbols = {name: address for name, (_, address) in global_symbols.items()}
+    for module in modules:
+        for symbol in module.symbols.values():
+            if not symbol.exported:
+                qualified = "%s:%s" % (module.name, symbol.name)
+                symbols[qualified] = (bases[symbol.section][module.name]
+                                      + symbol.offset)
+    return Program(imem=imem, dmem=dmem, symbols=symbols, entry=0)
+
+
+def _resolve(module, reloc, bases, global_symbols):
+    local = module.symbols.get(reloc.symbol)
+    if local is not None:
+        base = bases[local.section][module.name]
+        return base + local.offset + reloc.addend
+    entry = global_symbols.get(reloc.symbol)
+    if entry is None:
+        raise LinkError("undefined symbol %r (module %r, line %d)"
+                        % (reloc.symbol, module.name, reloc.line))
+    return entry[1] + reloc.addend
+
+
+def _patch(module, reloc, target, bases, image):
+    site = bases[reloc.section][module.name] + reloc.offset
+    if reloc.kind == RELOC_ABS16:
+        image[site] = target & 0xFFFF
+    elif reloc.kind == RELOC_BRANCH6:
+        offset = target - (site + 1)
+        if not BRANCH_OFFSET_MIN <= offset <= BRANCH_OFFSET_MAX:
+            raise LinkError(
+                "branch to %r out of range after linking (offset %d, "
+                "module %r line %d)"
+                % (reloc.symbol, offset, module.name, reloc.line))
+        image[site] = (image[site] & ~0x3F) | (offset & 0x3F)
+    else:
+        raise LinkError("unknown relocation kind %r" % reloc.kind)

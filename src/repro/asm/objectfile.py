@@ -1,0 +1,84 @@
+"""Object-module and linked-program representations."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Section names.  ``text`` assembles into IMEM, ``data`` into DMEM.
+SECTION_TEXT = "text"
+SECTION_DATA = "data"
+
+#: Relocation kinds.
+#: ``abs16``  -- the 16-bit word at the site receives the symbol's address.
+#: ``branch6`` -- the low 6 bits of the word at the site receive the signed
+#: word offset from (site address + 1) to the symbol.
+RELOC_ABS16 = "abs16"
+RELOC_BRANCH6 = "branch6"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named address within a module section."""
+
+    name: str
+    section: str
+    offset: int
+    exported: bool = True
+
+
+@dataclass(frozen=True)
+class Relocation:
+    """A patch site that needs a symbol's final address."""
+
+    section: str
+    offset: int
+    symbol: str
+    kind: str
+    #: Constant added to the symbol address (supports ``label+2`` operands).
+    addend: int = 0
+    #: Source line, for error messages.
+    line: int = 0
+
+
+@dataclass
+class ObjectModule:
+    """One assembled translation unit."""
+
+    name: str
+    text: List[int] = field(default_factory=list)
+    data: List[int] = field(default_factory=list)
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    relocations: List[Relocation] = field(default_factory=list)
+
+    def section_words(self, section):
+        if section == SECTION_TEXT:
+            return self.text
+        if section == SECTION_DATA:
+            return self.data
+        raise ValueError("unknown section %r" % (section,))
+
+
+@dataclass
+class Program:
+    """A fully linked, loadable program image."""
+
+    imem: List[int]
+    dmem: List[int]
+    symbols: Dict[str, int]
+    entry: int = 0
+
+    @property
+    def text_size_words(self):
+        return len(self.imem)
+
+    @property
+    def text_size_bytes(self):
+        """Code size in bytes (each word is two bytes)."""
+        return 2 * len(self.imem)
+
+    @property
+    def data_size_bytes(self):
+        return 2 * len(self.dmem)
+
+    def address_of(self, symbol):
+        """Final address of a linked symbol; raises ``KeyError`` if absent."""
+        return self.symbols[symbol]

@@ -1,0 +1,39 @@
+"""The baseline platform: an ATmega128L-class microcontroller running a
+TinyOS-style runtime.
+
+The paper compares SNAP/LE against Berkeley MICA motes: an 8-bit Atmel
+AVR core at 4 MIPS running TinyOS, measured with Atmel's cycle-accurate
+AVR Studio simulator (Section 4.2).  This package substitutes a reduced
+AVR-like core simulator (:mod:`repro.baseline.avr_core`) with hardware
+interrupts, a timer, an ADC, and an SPI port, plus a TinyOS-style
+runtime written in its assembly (:mod:`repro.baseline.tinyos`): interrupt
+service routines with full register save/restore, a virtualized timer
+layer, a FIFO task queue, and a scheduler loop that sleeps the core when
+the queue drains.
+
+The point of the comparison is the *software overhead structure* -- how
+many cycles go to interrupt servicing and scheduling versus useful work
+(Figure 5 finds 507 of 523 cycles are overhead) -- which this model
+reproduces mechanically rather than by quoting the paper's numbers.
+"""
+
+from repro.baseline.avr_asm import AvrAsmError, assemble_avr
+from repro.baseline.avr_core import AvrConfig, AvrCore, AvrFault
+from repro.baseline.energy import AtmelEnergyModel
+from repro.baseline.tinyos import (
+    build_avr_blink,
+    build_avr_radiostack,
+    build_avr_sense,
+)
+
+__all__ = [
+    "AvrAsmError",
+    "assemble_avr",
+    "AvrConfig",
+    "AvrCore",
+    "AvrFault",
+    "AtmelEnergyModel",
+    "build_avr_blink",
+    "build_avr_radiostack",
+    "build_avr_sense",
+]

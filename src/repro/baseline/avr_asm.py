@@ -1,0 +1,205 @@
+"""A small assembler for the reduced AVR-like baseline ISA.
+
+The baseline core executes a structured instruction stream (mnemonic +
+operands), not binary machine code -- cycle counts, not encodings, are
+what the comparison needs.  This assembler turns readable assembly text
+into that stream and resolves labels.
+
+Supported syntax::
+
+    ; comments
+    .equ NAME, value
+    label:
+        ldi r16, 0x12
+        lds r17, counter      ; SRAM by symbol or address
+        sts counter, r17
+        brne loop
+        rcall subroutine
+        reti
+    .var counter, 2           ; reserve 2 SRAM bytes, define symbol
+
+Registers are ``r0`` .. ``r31``.  ``X`` (``r27:r26``) is the only pointer
+register, used by ``ld``/``st`` with optional post-increment (``X+``).
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_MNEMONICS_REG_REG = {"mov", "add", "adc", "sub", "sbc", "and", "or",
+                      "eor", "cp"}
+_MNEMONICS_REG_IMM = {"ldi", "subi", "andi", "ori", "cpi"}
+_MNEMONICS_REG = {"inc", "dec", "lsl", "lsr", "rol", "push", "pop", "swap"}
+_MNEMONICS_BRANCH = {"brne", "breq", "brlo", "brge", "rjmp", "rcall"}
+_MNEMONICS_NONE = {"ret", "reti", "sei", "cli", "sleep", "nop"}
+
+#: SRAM reserved below this address for memory-mapped I/O ports.
+SRAM_DATA_BASE = 0x60
+
+
+class AvrAsmError(Exception):
+    """Assembly-time error in baseline AVR source."""
+
+
+@dataclass(frozen=True)
+class AvrInstruction:
+    """One decoded baseline instruction."""
+
+    mnemonic: str
+    rd: Optional[int] = None
+    rr: Optional[int] = None
+    imm: Optional[int] = None
+    target: Optional[int] = None  # resolved label address (word index)
+    post_increment: bool = False
+
+
+@dataclass
+class AvrProgram:
+    """An assembled baseline program."""
+
+    instructions: List[AvrInstruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    #: SRAM symbol -> byte address (from .var directives).
+    variables: Dict[str, int] = field(default_factory=dict)
+    sram_used: int = SRAM_DATA_BASE
+
+    def address_of(self, label):
+        return self.labels[label]
+
+    @property
+    def size_words(self):
+        """Flash footprint: one word per instruction except the two-word
+        lds/sts forms (matching real AVR encodings closely enough for
+        the paper's code-size comparison)."""
+        return sum(2 if ins.mnemonic in ("lds", "sts") else 1
+                   for ins in self.instructions)
+
+    @property
+    def size_bytes(self):
+        return 2 * self.size_words
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.$]*)\s*:")
+
+
+def _parse_register(text, line):
+    text = text.strip().lower()
+    if text.startswith("r") and text[1:].isdigit():
+        number = int(text[1:])
+        if 0 <= number <= 31:
+            return number
+    raise AvrAsmError("line %d: bad register %r" % (line, text))
+
+
+def assemble_avr(source, name="avr"):
+    """Assemble baseline AVR source text into an :class:`AvrProgram`."""
+    program = AvrProgram()
+    equs = {}
+    pending: List[Tuple[int, str, str]] = []  # (instr index, label, mnemonic)
+
+    def parse_value(text, line):
+        text = text.strip()
+        if text in equs:
+            return equs[text]
+        if text in program.variables:
+            return program.variables[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AvrAsmError("line %d: bad value %r" % (line, text)) from None
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            label = match.group(1)
+            if label in program.labels:
+                raise AvrAsmError("line %d: duplicate label %r"
+                                  % (line_number, label))
+            program.labels[label] = len(program.instructions)
+            text = text[match.end():].strip()
+        if not text:
+            continue
+        if text.startswith(".equ"):
+            body = text[4:].strip()
+            name_part, _, value_part = body.partition(",")
+            equs[name_part.strip()] = parse_value(value_part, line_number)
+            continue
+        if text.startswith(".var"):
+            body = text[4:].strip()
+            name_part, _, size_part = body.partition(",")
+            size = parse_value(size_part, line_number) if size_part.strip() else 1
+            program.variables[name_part.strip()] = program.sram_used
+            program.sram_used += size
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+
+        if mnemonic in _MNEMONICS_NONE:
+            program.instructions.append(AvrInstruction(mnemonic))
+        elif mnemonic in _MNEMONICS_REG:
+            program.instructions.append(AvrInstruction(
+                mnemonic, rd=_parse_register(operands[0], line_number)))
+        elif mnemonic in _MNEMONICS_REG_REG:
+            program.instructions.append(AvrInstruction(
+                mnemonic,
+                rd=_parse_register(operands[0], line_number),
+                rr=_parse_register(operands[1], line_number)))
+        elif mnemonic in _MNEMONICS_REG_IMM:
+            program.instructions.append(AvrInstruction(
+                mnemonic,
+                rd=_parse_register(operands[0], line_number),
+                imm=parse_value(operands[1], line_number) & 0xFF))
+        elif mnemonic in _MNEMONICS_BRANCH:
+            pending.append((len(program.instructions), operands[0],
+                            mnemonic))
+            program.instructions.append(AvrInstruction(mnemonic))
+        elif mnemonic == "lds":
+            program.instructions.append(AvrInstruction(
+                "lds", rd=_parse_register(operands[0], line_number),
+                imm=parse_value(operands[1], line_number)))
+        elif mnemonic == "sts":
+            program.instructions.append(AvrInstruction(
+                "sts", rd=_parse_register(operands[1], line_number),
+                imm=parse_value(operands[0], line_number)))
+        elif mnemonic == "ld":
+            pointer = operands[1].upper()
+            if pointer not in ("X", "X+"):
+                raise AvrAsmError("line %d: only the X pointer is supported"
+                                  % line_number)
+            program.instructions.append(AvrInstruction(
+                "ld", rd=_parse_register(operands[0], line_number),
+                post_increment=pointer.endswith("+")))
+        elif mnemonic == "st":
+            pointer = operands[0].upper()
+            if pointer not in ("X", "X+"):
+                raise AvrAsmError("line %d: only the X pointer is supported"
+                                  % line_number)
+            program.instructions.append(AvrInstruction(
+                "st", rd=_parse_register(operands[1], line_number),
+                post_increment=pointer.endswith("+")))
+        elif mnemonic == "in":
+            program.instructions.append(AvrInstruction(
+                "in", rd=_parse_register(operands[0], line_number),
+                imm=parse_value(operands[1], line_number)))
+        elif mnemonic == "out":
+            program.instructions.append(AvrInstruction(
+                "out", rd=_parse_register(operands[1], line_number),
+                imm=parse_value(operands[0], line_number)))
+        else:
+            raise AvrAsmError("line %d: unknown mnemonic %r"
+                              % (line_number, mnemonic))
+
+    resolved = []
+    for index, label, mnemonic in pending:
+        target = program.labels.get(label)
+        if target is None:
+            raise AvrAsmError("undefined label %r" % label)
+        old = program.instructions[index]
+        program.instructions[index] = AvrInstruction(
+            mnemonic=old.mnemonic, target=target)
+        resolved.append(index)
+    return program

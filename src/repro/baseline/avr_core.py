@@ -1,0 +1,433 @@
+"""The reduced AVR-like baseline core with interrupts and devices.
+
+Models what the comparison needs from an ATmega128L-class part: an 8-bit
+register file, SRAM, a cycle counter, hardware interrupts with the AVR's
+entry/exit costs, a sleep instruction, and three devices -- a periodic
+timer, an ADC with conversion-complete interrupts, and a byte-wide SPI
+port (the mote's radio interface).  Device control and profiling use
+memory-mapped I/O ports.
+
+Profiling: writes to the ``MARKER`` port split active cycles into
+"useful" and "overhead" buckets -- the same trick as toggling a GPIO
+around the payload code on a real board -- which is how the Figure 5
+overhead split is measured instead of assumed.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.baseline.avr_asm import AvrProgram
+
+# -- I/O port map ----------------------------------------------------------------
+
+PORT_LEDS = 0x00
+PORT_TIMER_CTRL = 0x02   # out 1: enable periodic timer; out 0: disable
+PORT_ADC_START = 0x03    # out anything: start a conversion
+PORT_ADC_LO = 0x04       # in: conversion result, low byte
+PORT_ADC_HI = 0x05       # in: result, high bits
+PORT_SPI_DATA = 0x06     # out: transmit one byte over SPI
+PORT_MARKER = 0x07       # profiling: 1 = useful work, 0 = overhead
+
+#: Interrupt identifiers.
+IRQ_TIMER = "timer"
+IRQ_ADC = "adc"
+IRQ_SPI = "spi"
+
+#: Cycle costs of the baseline instructions (AVR-manual values for the
+#: ones we model).
+_CYCLES = {
+    "mov": 1, "add": 1, "adc": 1, "sub": 1, "sbc": 1, "and": 1, "or": 1,
+    "eor": 1, "cp": 1, "ldi": 1, "subi": 1, "andi": 1, "ori": 1, "cpi": 1,
+    "inc": 1, "dec": 1, "lsl": 1, "lsr": 1, "rol": 1, "swap": 1,
+    "push": 2, "pop": 2, "lds": 2, "sts": 2, "ld": 2, "st": 2,
+    "in": 1, "out": 1, "sei": 1, "cli": 1, "sleep": 1, "nop": 1,
+    "rjmp": 2, "rcall": 3, "ret": 4, "reti": 4,
+    # conditional branches cost 1, +1 when taken (handled inline)
+    "brne": 1, "breq": 1, "brlo": 1, "brge": 1,
+}
+
+#: AVR interrupt response: 4 cycles to push the PC and vector.
+IRQ_ENTRY_CYCLES = 4
+
+
+class AvrFault(Exception):
+    """Baseline-simulator fault (bad address, runaway program, ...)."""
+
+
+@dataclass
+class AvrConfig:
+    """Configuration of the baseline core."""
+
+    clock_hz: float = 4_000_000.0
+    sram_bytes: int = 4096
+    #: Timer period in cycles between compare-match interrupts.
+    timer_period_cycles: int = 4000
+    #: ADC conversion time (ATmega: ~13 ADC clocks; ~120 CPU cycles).
+    adc_cycles: int = 120
+    #: SPI byte time in cycles (radio-rate SPI is slow; value only
+    #: matters for wall-clock, not cycle counts attributed to the CPU).
+    spi_cycles: int = 256
+    #: Cycles to wake from the sleep mode in use.  TinyOS idles in a
+    #: light sleep where the timer keeps running (fast wake); the deep
+    #: power-down modes cost milliseconds (Section 4.3: 4-65 ms).
+    wakeup_cycles: int = 6
+    max_instructions: Optional[int] = 10_000_000
+
+
+@dataclass
+class AvrStats:
+    """Activity counters."""
+
+    instructions: int = 0
+    cycles: int = 0            # active cycles (sleep time excluded)
+    useful_cycles: int = 0     # active cycles with the MARKER port set
+    irqs: int = 0
+    sleeps: int = 0
+    wakeups: int = 0
+    sleep_cycles: int = 0      # wall-clock cycles spent asleep
+
+    @property
+    def overhead_cycles(self):
+        return self.cycles - self.useful_cycles
+
+
+class _Device:
+    """A device that fires an interrupt at an absolute cycle count."""
+
+    def __init__(self, irq):
+        self.irq = irq
+        self.fire_at = None
+
+    def maybe_fire(self, core):
+        if self.fire_at is not None and core.wall_cycles >= self.fire_at:
+            self.fire_at = None
+            self.on_fire(core)
+            core.raise_irq(self.irq)
+            return True
+        return False
+
+    def on_fire(self, core):
+        pass
+
+
+class _TimerDevice(_Device):
+    def __init__(self, period):
+        super().__init__(IRQ_TIMER)
+        self.period = period
+        self.enabled = False
+
+    def control(self, core, value):
+        self.enabled = bool(value)
+        self.fire_at = core.wall_cycles + self.period if self.enabled else None
+
+    def on_fire(self, core):
+        if self.enabled:
+            self.fire_at = core.wall_cycles + self.period
+
+
+class _AdcDevice(_Device):
+    def __init__(self, conversion_cycles):
+        super().__init__(IRQ_ADC)
+        self.conversion_cycles = conversion_cycles
+        self.result = 0
+        #: Supplied by the harness: callable returning the next sample.
+        self.sample_source = lambda: 0
+
+    def start(self, core):
+        self.fire_at = core.wall_cycles + self.conversion_cycles
+
+    def on_fire(self, core):
+        self.result = int(self.sample_source()) & 0x3FF
+
+
+class _SpiDevice(_Device):
+    def __init__(self, byte_cycles):
+        super().__init__(IRQ_SPI)
+        self.byte_cycles = byte_cycles
+        self.sent = []
+
+    def write(self, core, value):
+        self.sent.append(value & 0xFF)
+        self.fire_at = core.wall_cycles + self.byte_cycles
+
+
+class AvrCore:
+    """The baseline microcontroller."""
+
+    def __init__(self, program: AvrProgram, config: AvrConfig = None,
+                 vectors: Dict[str, str] = None):
+        self.program = program
+        self.config = config or AvrConfig()
+        self.regs = [0] * 32
+        self.sram = bytearray(self.config.sram_bytes)
+        self.sp = self.config.sram_bytes - 1
+        self.pc = 0
+        self.flag_z = False
+        self.flag_c = False
+        self.flag_n = False
+        self.flag_i = False
+        self.sleeping = False
+        self.halted = False
+        self.stats = AvrStats()
+        #: Wall-clock cycles including sleep (device timing base).
+        self.wall_cycles = 0
+        self._marker = 0
+        self._pending = []
+        self.leds_history = []
+
+        self.timer = _TimerDevice(self.config.timer_period_cycles)
+        self.adc = _AdcDevice(self.config.adc_cycles)
+        self.spi = _SpiDevice(self.config.spi_cycles)
+        self._devices = [self.timer, self.adc, self.spi]
+
+        self._vectors = {}
+        for irq, label in (vectors or {}).items():
+            self._vectors[irq] = program.address_of(label)
+
+    # -- interrupts ---------------------------------------------------------
+
+    def raise_irq(self, irq):
+        if irq in self._vectors:
+            self._pending.append(irq)
+
+    def _service_irq(self):
+        if not self.flag_i or not self._pending:
+            return False
+        irq = self._pending.pop(0)
+        self.stats.irqs += 1
+        self._push16(self.pc)
+        self.flag_i = False
+        self.pc = self._vectors[irq]
+        self._account(IRQ_ENTRY_CYCLES)
+        return True
+
+    # -- stack -----------------------------------------------------------------
+
+    def _push8(self, value):
+        self.sram[self.sp] = value & 0xFF
+        self.sp -= 1
+
+    def _pop8(self):
+        self.sp += 1
+        return self.sram[self.sp]
+
+    def _push16(self, value):
+        self._push8(value & 0xFF)
+        self._push8((value >> 8) & 0xFF)
+
+    def _pop16(self):
+        high = self._pop8()
+        low = self._pop8()
+        return (high << 8) | low
+
+    # -- accounting ---------------------------------------------------------------
+
+    def _account(self, cycles):
+        self.stats.cycles += cycles
+        self.wall_cycles += cycles
+        if self._marker:
+            self.stats.useful_cycles += cycles
+
+    # -- I/O ports ------------------------------------------------------------------
+
+    def _port_read(self, port):
+        if port == PORT_ADC_LO:
+            return self.adc.result & 0xFF
+        if port == PORT_ADC_HI:
+            return (self.adc.result >> 8) & 0xFF
+        if port == PORT_LEDS:
+            return self.leds_history[-1][1] if self.leds_history else 0
+        if port == PORT_MARKER:
+            return self._marker
+        raise AvrFault("read from unmapped port 0x%02x" % port)
+
+    def _port_write(self, port, value):
+        if port == PORT_LEDS:
+            self.leds_history.append((self.wall_cycles, value & 0xFF))
+        elif port == PORT_TIMER_CTRL:
+            self.timer.control(self, value)
+        elif port == PORT_ADC_START:
+            self.adc.start(self)
+        elif port == PORT_SPI_DATA:
+            self.spi.write(self, value)
+        elif port == PORT_MARKER:
+            self._marker = value & 1
+        else:
+            raise AvrFault("write to unmapped port 0x%02x" % port)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run(self, max_wall_cycles=None):
+        """Run until halt (sleep with no future device event) or until
+        the wall-clock cycle budget is spent."""
+        while not self.halted:
+            if max_wall_cycles is not None and self.wall_cycles >= max_wall_cycles:
+                return self.stats
+            if self.sleeping:
+                if not self._advance_sleep(max_wall_cycles):
+                    return self.stats
+                continue
+            for device in self._devices:
+                device.maybe_fire(self)
+            if self._service_irq():
+                continue
+            self._step()
+        return self.stats
+
+    def _advance_sleep(self, max_wall_cycles):
+        """Jump the wall clock to the next device event; wake on IRQ."""
+        next_fire = min((d.fire_at for d in self._devices
+                         if d.fire_at is not None), default=None)
+        if next_fire is None:
+            self.halted = True
+            return False
+        if max_wall_cycles is not None and next_fire > max_wall_cycles:
+            self.stats.sleep_cycles += max_wall_cycles - self.wall_cycles
+            self.wall_cycles = max_wall_cycles
+            return False
+        self.stats.sleep_cycles += next_fire - self.wall_cycles
+        self.wall_cycles = next_fire
+        for device in self._devices:
+            device.maybe_fire(self)
+        if self._pending and self.flag_i:
+            self.sleeping = False
+            self.stats.wakeups += 1
+            self._account(self.config.wakeup_cycles)
+        return True
+
+    def _step(self):
+        if not 0 <= self.pc < len(self.program.instructions):
+            raise AvrFault("pc 0x%04x outside program" % self.pc)
+        ins = self.program.instructions[self.pc]
+        self.stats.instructions += 1
+        limit = self.config.max_instructions
+        if limit is not None and self.stats.instructions > limit:
+            raise AvrFault("instruction budget exceeded -- runaway program?")
+        cycles = _CYCLES[ins.mnemonic]
+        next_pc = self.pc + 1
+        m = ins.mnemonic
+
+        if m == "ldi":
+            self.regs[ins.rd] = ins.imm
+        elif m == "mov":
+            self.regs[ins.rd] = self.regs[ins.rr]
+        elif m in ("add", "adc"):
+            carry = self.flag_c if m == "adc" else 0
+            total = self.regs[ins.rd] + self.regs[ins.rr] + carry
+            self.flag_c = total > 0xFF
+            self._set_result(ins.rd, total)
+        elif m in ("sub", "sbc"):
+            carry = self.flag_c if m == "sbc" else 0
+            total = self.regs[ins.rd] - self.regs[ins.rr] - carry
+            self.flag_c = total < 0
+            self._set_result(ins.rd, total)
+        elif m == "subi":
+            total = self.regs[ins.rd] - ins.imm
+            self.flag_c = total < 0
+            self._set_result(ins.rd, total)
+        elif m == "and":
+            self._set_result(ins.rd, self.regs[ins.rd] & self.regs[ins.rr])
+        elif m == "or":
+            self._set_result(ins.rd, self.regs[ins.rd] | self.regs[ins.rr])
+        elif m == "eor":
+            self._set_result(ins.rd, self.regs[ins.rd] ^ self.regs[ins.rr])
+        elif m == "andi":
+            self._set_result(ins.rd, self.regs[ins.rd] & ins.imm)
+        elif m == "ori":
+            self._set_result(ins.rd, self.regs[ins.rd] | ins.imm)
+        elif m in ("cp", "cpi"):
+            other = self.regs[ins.rr] if m == "cp" else ins.imm
+            total = self.regs[ins.rd] - other
+            self.flag_c = total < 0
+            self.flag_z = (total & 0xFF) == 0
+            self.flag_n = bool(total & 0x80)
+        elif m == "inc":
+            self._set_result(ins.rd, self.regs[ins.rd] + 1)
+        elif m == "dec":
+            self._set_result(ins.rd, self.regs[ins.rd] - 1)
+        elif m == "lsl":
+            value = self.regs[ins.rd] << 1
+            self.flag_c = value > 0xFF
+            self._set_result(ins.rd, value)
+        elif m == "lsr":
+            self.flag_c = bool(self.regs[ins.rd] & 1)
+            self._set_result(ins.rd, self.regs[ins.rd] >> 1)
+        elif m == "rol":
+            value = (self.regs[ins.rd] << 1) | (1 if self.flag_c else 0)
+            self.flag_c = value > 0xFF
+            self._set_result(ins.rd, value)
+        elif m == "swap":
+            value = self.regs[ins.rd]
+            self.regs[ins.rd] = ((value << 4) | (value >> 4)) & 0xFF
+        elif m == "push":
+            self._push8(self.regs[ins.rd])
+        elif m == "pop":
+            self.regs[ins.rd] = self._pop8()
+        elif m == "lds":
+            self.regs[ins.rd] = self.sram[ins.imm]
+        elif m == "sts":
+            self.sram[ins.imm] = self.regs[ins.rd]
+        elif m in ("ld", "st"):
+            address = self.regs[26] | (self.regs[27] << 8)
+            if not 0 <= address < len(self.sram):
+                raise AvrFault("X pointer 0x%04x outside SRAM" % address)
+            if m == "ld":
+                self.regs[ins.rd] = self.sram[address]
+            else:
+                self.sram[address] = self.regs[ins.rd]
+            if ins.post_increment:
+                address += 1
+                self.regs[26] = address & 0xFF
+                self.regs[27] = (address >> 8) & 0xFF
+        elif m == "in":
+            self.regs[ins.rd] = self._port_read(ins.imm)
+        elif m == "out":
+            self._port_write(ins.imm, self.regs[ins.rd])
+        elif m in ("brne", "breq", "brlo", "brge"):
+            take = {"brne": not self.flag_z, "breq": self.flag_z,
+                    "brlo": self.flag_c, "brge": not self.flag_n}[m]
+            if take:
+                next_pc = ins.target
+                cycles += 1
+        elif m == "rjmp":
+            next_pc = ins.target
+        elif m == "rcall":
+            self._push16(self.pc + 1)
+            next_pc = ins.target
+        elif m == "ret":
+            next_pc = self._pop16()
+        elif m == "reti":
+            next_pc = self._pop16()
+            self.flag_i = True
+        elif m == "sei":
+            self.flag_i = True
+        elif m == "cli":
+            self.flag_i = False
+        elif m == "sleep":
+            self.sleeping = True
+            self.stats.sleeps += 1
+        elif m == "nop":
+            pass
+        else:
+            raise AvrFault("unimplemented mnemonic %r" % m)
+
+        self.pc = next_pc
+        self._account(cycles)
+
+    def _set_result(self, rd, value):
+        value &= 0xFF
+        self.regs[rd] = value
+        self.flag_z = value == 0
+        self.flag_n = bool(value & 0x80)
+
+    # -- conveniences -------------------------------------------------------------
+
+    def sram_read16(self, address):
+        return self.sram[address] | (self.sram[address + 1] << 8)
+
+    def variable(self, name):
+        """Read a one-byte .var by name."""
+        return self.sram[self.program.variables[name]]
+
+    def variable16(self, name):
+        return self.sram_read16(self.program.variables[name])

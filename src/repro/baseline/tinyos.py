@@ -1,0 +1,524 @@
+"""A TinyOS-style runtime for the baseline AVR core, plus the three
+comparison applications (Blink, Sense, radio stack).
+
+The runtime reproduces the software structure TinyOS imposes on a
+commodity microcontroller (the structure SNAP/LE's hardware event queue
+eliminates -- Sections 3.1 and 4.6):
+
+* **Interrupt service routines** save and restore the full avr-gcc
+  call-clobbered register set (15 registers) around their bodies.
+* **A virtualized timer layer**: one hardware timer tick scans an array
+  of 32-bit virtual timers, decrementing and reloading each active one
+  -- the TinyOS ``Clock``/``Timer`` component stack.
+* **A FIFO task queue**: ISRs post task identifiers; a scheduler loop
+  pops and dispatches them, sleeping the core when the queue drains.
+
+Application code brackets its *useful* work with writes to the MARKER
+port, so the overhead/useful cycle split of Figure 5 is measured by the
+simulator rather than assumed.
+"""
+
+from repro.baseline.avr_asm import assemble_avr
+from repro.baseline.avr_core import (
+    PORT_ADC_HI,
+    PORT_ADC_LO,
+    PORT_ADC_START,
+    PORT_LEDS,
+    PORT_MARKER,
+    PORT_SPI_DATA,
+    PORT_TIMER_CTRL,
+)
+
+#: Number of virtual timers the TinyOS timer layer multiplexes onto the
+#: one hardware timer (each entry: active flag + 32-bit count + 32-bit
+#: reload = 9 bytes).
+NUM_VTIMERS = 8
+VTIMER_ENTRY_BYTES = 9
+
+#: Task identifiers.
+TASK_BLINK = 1
+TASK_SENSE_START = 2
+TASK_SENSE_PROC = 3
+TASK_RS_SEND = 4
+
+_PORTS_EQU = """
+    .equ LEDS, %d
+    .equ TIMER_CTRL, %d
+    .equ ADC_START, %d
+    .equ ADC_LO, %d
+    .equ ADC_HI, %d
+    .equ SPI_DATA, %d
+    .equ MARKER, %d
+""" % (PORT_LEDS, PORT_TIMER_CTRL, PORT_ADC_START, PORT_ADC_LO,
+       PORT_ADC_HI, PORT_SPI_DATA, PORT_MARKER)
+
+_RUNTIME_VARS = """
+    .var task_queue, 8
+    .var tq_head, 1
+    .var tq_tail, 1
+    .var tq_count, 1
+    .var vtimers, %d
+""" % (NUM_VTIMERS * VTIMER_ENTRY_BYTES)
+
+#: ISR context save/restore: the avr-gcc call-clobbered set (plus r23,
+#: which the virtual-timer scan uses as its entry pointer).
+_ISR_SAVE_REGS = ["r0", "r1", "r16", "r17", "r18", "r19", "r20", "r21",
+                  "r22", "r23", "r24", "r25", "r26", "r27", "r30", "r31"]
+_ISR_SAVE = "\n".join("    push %s" % reg for reg in _ISR_SAVE_REGS)
+_ISR_RESTORE = "\n".join("    pop %s" % reg for reg in reversed(_ISR_SAVE_REGS))
+
+
+def _runtime_init():
+    """Reset code: clear the task queue and the virtual-timer array."""
+    return """
+reset:
+    ldi r16, 0
+    sts tq_head, r16
+    sts tq_tail, r16
+    sts tq_count, r16
+    ldi r26, vtimers
+    ldi r27, 0
+    ldi r17, %d
+clr_vt:
+    st X+, r16
+    dec r17
+    brne clr_vt
+""" % (NUM_VTIMERS * VTIMER_ENTRY_BYTES)
+
+
+def _arm_vtimer(index, ticks, comment=""):
+    """Code to activate virtual timer *index* with a 32-bit tick count."""
+    base_offset = index * VTIMER_ENTRY_BYTES
+    bytes_ = [(ticks >> (8 * i)) & 0xFF for i in range(4)]
+    lines = ["    ; arm virtual timer %d (%d ticks) %s" % (index, ticks, comment),
+             "    ldi r26, vtimers",
+             "    ldi r27, 0"]
+    if base_offset:
+        lines.append("    subi r26, %d" % ((-base_offset) & 0xFF))
+    lines.append("    ldi r16, 1")
+    lines.append("    st X+, r16       ; active")
+    for value in bytes_:
+        lines.append("    ldi r16, %d" % value)
+        lines.append("    st X+, r16       ; count byte")
+    for value in bytes_:
+        lines.append("    ldi r16, %d" % value)
+        lines.append("    st X+, r16       ; reload byte")
+    return "\n".join(lines)
+
+
+def _scheduler(dispatch_cases):
+    """The TinyOS scheduler loop: pop a task id, dispatch, sleep when
+    the queue is empty.  *dispatch_cases* maps task id -> label."""
+    cases = "\n".join(
+        "    cpi r18, %d\n    breq %s" % (task_id, label)
+        for task_id, label in sorted(dispatch_cases.items()))
+    return """
+main_loop:
+    cli
+    lds r16, tq_count
+    cpi r16, 0
+    brne have_task
+    sei
+    sleep
+    rjmp main_loop
+have_task:
+    lds r17, tq_head
+    ldi r26, task_queue
+    ldi r27, 0
+    add r26, r17
+    ld r18, X
+    inc r17
+    andi r17, 7
+    sts tq_head, r17
+    dec r16
+    sts tq_count, r16
+    sei
+%s
+    rjmp main_loop
+
+; post_task: r20 = task id; interrupts must be disabled.
+; Clobbers r16, r22, X.
+post_task:
+    lds r16, tq_count
+    cpi r16, 8
+    breq post_drop
+    lds r22, tq_tail
+    ldi r26, task_queue
+    ldi r27, 0
+    add r26, r22
+    st X, r20
+    inc r22
+    andi r22, 7
+    sts tq_tail, r22
+    inc r16
+    sts tq_count, r16
+post_drop:
+    ret
+""" % cases
+
+
+def _timer_isr(fired_task_id):
+    """The hardware-timer ISR: full context save, then the virtualized
+    timer scan (32-bit counters), posting *fired_task_id* on expiry."""
+    return """
+timer_isr:
+%s
+    ldi r21, 0              ; zero register for the 32-bit borrows
+    ldi r23, vtimers        ; r23 = current entry base (low byte)
+    ldi r19, %d             ; entry loop counter
+vt_loop:
+    mov r26, r23
+    ldi r27, 0
+    ld r16, X+              ; active flag
+    cpi r16, 0
+    breq vt_next
+    ld r17, X+              ; count, little-endian
+    ld r18, X+
+    ld r24, X+
+    ld r25, X+
+    subi r17, 1             ; 32-bit decrement
+    sbc r18, r21
+    sbc r24, r21
+    sbc r25, r21
+    mov r22, r17            ; zero test
+    or r22, r18
+    or r22, r24
+    or r22, r25
+    brne vt_store
+    ld r17, X+              ; expired: reload
+    ld r18, X+
+    ld r24, X+
+    ld r25, X+
+    ldi r20, %d
+    rcall post_task
+vt_store:
+    mov r26, r23
+    inc r26
+    ldi r27, 0
+    st X+, r17              ; write the count back
+    st X+, r18
+    st X+, r24
+    st X, r25
+vt_next:
+    subi r23, %d            ; advance to the next 9-byte entry
+    dec r19
+    brne vt_loop
+%s
+    reti
+""" % (_ISR_SAVE, NUM_VTIMERS, fired_task_id,
+       (-VTIMER_ENTRY_BYTES) & 0xFF, _ISR_RESTORE)
+
+
+# -- Blink ----------------------------------------------------------------------
+
+def build_avr_blink(period_ticks=2):
+    """The TinyOS Blink application for the baseline core.
+
+    *period_ticks* is the virtual-timer period in hardware-timer ticks;
+    each expiry posts the blink task, whose useful work is bracketed by
+    MARKER writes (Figure 5 finds only 16 of 523 cycles are useful).
+    """
+    source = _PORTS_EQU + _RUNTIME_VARS + """
+    .var led_state, 1
+    .var blink_count, 1
+""" + _runtime_init() + """
+    ldi r16, 0
+    sts led_state, r16
+    sts blink_count, r16
+""" + _arm_vtimer(0, period_ticks, "blink period") + """
+    sei
+    ldi r16, 1
+    out TIMER_CTRL, r16
+""" + _scheduler({TASK_BLINK: "task_blink"}) + _timer_isr(TASK_BLINK) + """
+task_blink:
+    ldi r16, 1
+    out MARKER, r16
+    lds r17, led_state
+    ldi r18, 1
+    eor r17, r18
+    sts led_state, r17
+    out LEDS, r17
+    lds r19, blink_count
+    inc r19
+    sts blink_count, r19
+    ldi r16, 0
+    out MARKER, r16
+    rjmp main_loop
+"""
+    return assemble_avr(source, name="avr-blink")
+
+
+# -- Sense -----------------------------------------------------------------------
+
+SENSE_AVR_WINDOW = 8
+
+
+def build_avr_sense(period_ticks=4):
+    """The TinyOS Sense application: periodic ADC sample, running
+    average over an 8-sample window, high bits to the LEDs.
+
+    Two interrupts per iteration (timer and ADC completion) plus two
+    task dispatches -- the structure behind the paper's finding that
+    over 70% of the mote's 1118 cycles are overhead.
+    """
+    source = _PORTS_EQU + _RUNTIME_VARS + """
+    .var sample_lo, 1
+    .var sample_hi, 1
+    .var window, %d          ; 8 samples x 2 bytes, little-endian
+    .var win_idx, 1
+    .var sense_iters, 1
+""" % (2 * SENSE_AVR_WINDOW) + _runtime_init() + """
+    ldi r16, 0
+    sts win_idx, r16
+    sts sense_iters, r16
+    ldi r26, window
+    ldi r27, 0
+    ldi r17, %d
+clr_win:
+    st X+, r16
+    dec r17
+    brne clr_win
+""" % (2 * SENSE_AVR_WINDOW) + _arm_vtimer(0, period_ticks, "sample period") + """
+    sei
+    ldi r16, 1
+    out TIMER_CTRL, r16
+""" + _scheduler({TASK_SENSE_START: "task_sense_start",
+                  TASK_SENSE_PROC: "task_sense_proc"}) \
+        + _timer_isr(TASK_SENSE_START) + """
+; ADC conversion-complete ISR: latch the sample, post the processing task.
+adc_isr:
+%s
+    in r16, ADC_LO
+    sts sample_lo, r16
+    in r16, ADC_HI
+    sts sample_hi, r16
+    ldi r20, %d
+    rcall post_task
+%s
+    reti
+
+; Task: start an ADC conversion.
+task_sense_start:
+    ldi r16, 1
+    out MARKER, r16
+    out ADC_START, r16
+    ldi r16, 0
+    out MARKER, r16
+    rjmp main_loop
+
+; Task: fold the sample into the window, average, display.
+task_sense_proc:
+    ldi r16, 1
+    out MARKER, r16
+    ; window[idx] = sample
+    lds r17, win_idx
+    mov r18, r17
+    lsl r18                  ; byte offset = idx * 2
+    ldi r26, window
+    ldi r27, 0
+    add r26, r18
+    lds r19, sample_lo
+    st X+, r19
+    lds r19, sample_hi
+    st X, r19
+    inc r17
+    andi r17, %d
+    sts win_idx, r17
+    ; sum the window into r24:r25
+    ldi r24, 0
+    ldi r25, 0
+    ldi r26, window
+    ldi r27, 0
+    ldi r19, %d
+sum_loop:
+    ld r16, X+
+    ld r17, X+
+    add r24, r16
+    adc r25, r17
+    dec r19
+    brne sum_loop
+    ; average = sum >> 3
+    lsr r25
+    mov r16, r24
+    lsr r24
+    ; (three 16-bit right shifts, unrolled)
+    lsr r25
+    lsr r24
+    lsr r25
+    lsr r24
+    ; display the top bits: avg is 10-bit; show bits 9..7
+    mov r16, r24
+    swap r16
+    lsr r16
+    lsr r16
+    andi r16, 0x07
+    out LEDS, r16
+    lds r16, sense_iters
+    inc r16
+    sts sense_iters, r16
+    ldi r16, 0
+    out MARKER, r16
+    rjmp main_loop
+""" % (_ISR_SAVE, TASK_SENSE_PROC, _ISR_RESTORE,
+       SENSE_AVR_WINDOW - 1, SENSE_AVR_WINDOW)
+    return assemble_avr(source, name="avr-sense")
+
+
+# -- Radio stack -------------------------------------------------------------------
+
+def build_avr_radiostack(period_ticks=8, bytes_to_send=None):
+    """The MICA high-speed radio stack on the baseline core: SEC-DED
+    encode each byte, update the packet CRC, and push the codeword over
+    SPI byte by byte (each SPI byte costs a full ISR round trip -- the
+    byte-level interface overhead Section 4.6 calls out)."""
+    source = _PORTS_EQU + _RUNTIME_VARS + """
+    .var crc_lo, 1
+    .var crc_hi, 1
+    .var next_byte, 1
+    .var bytes_sent, 1
+    .var spi_pending, 1      ; second codeword byte awaiting the SPI ISR
+""" + _runtime_init() + """
+    ldi r16, 0xFF
+    sts crc_lo, r16
+    sts crc_hi, r16
+    ldi r16, 0
+    sts next_byte, r16
+    sts bytes_sent, r16
+    sts spi_pending, r16
+""" + _arm_vtimer(0, period_ticks, "byte pacing") + """
+    sei
+    ldi r16, 1
+    out TIMER_CTRL, r16
+""" + _scheduler({TASK_RS_SEND: "task_rs_send"}) + _timer_isr(TASK_RS_SEND) + """
+; SPI transfer-complete ISR: send the second codeword byte if pending.
+spi_isr:
+%s
+    lds r16, spi_pending
+    cpi r16, 0
+    breq spi_done
+    lds r17, spi_pending
+    andi r17, 0x7F
+    out SPI_DATA, r17
+    ldi r16, 0
+    sts spi_pending, r16
+spi_done:
+%s
+    reti
+
+; Task: CRC + SEC-DED encode + transmit one byte.
+task_rs_send:
+    ldi r16, 1
+    out MARKER, r16
+    lds r20, next_byte       ; the data byte
+    ; ---- CRC-16-CCITT update (bitwise, crc in crc_hi:crc_lo) ----
+    lds r24, crc_lo
+    lds r25, crc_hi
+    eor r25, r20             ; crc ^= byte << 8
+    ldi r19, 8
+crc_loop:
+    lsl r24                  ; 16-bit shift left: C = low-byte carry...
+    rol r25                  ; ...rolled into the high byte; C = old msb
+    brlo crc_xor             ; brlo == brcs: msb was set -> xor the poly
+    rjmp crc_next
+crc_xor:
+    ldi r16, 0x21
+    eor r24, r16
+    ldi r16, 0x10
+    eor r25, r16
+crc_next:
+    dec r19
+    brne crc_loop
+    sts crc_lo, r24
+    sts crc_hi, r25
+    ; ---- SEC-DED encode r20 -> r24 (lo), r25 (hi) ----
+    rcall rs_encode
+    ; ---- transmit: first byte now, second via the SPI ISR ----
+    ori r25, 0x80            ; mark pending (codeword hi is 5 bits)
+    sts spi_pending, r25
+    out SPI_DATA, r24
+    lds r16, bytes_sent
+    inc r16
+    sts bytes_sent, r16
+    lds r16, next_byte
+    inc r16
+    sts next_byte, r16
+    ldi r16, 0
+    out MARKER, r16
+    rjmp main_loop
+""" % (_ISR_SAVE, _ISR_RESTORE) + _rs_encode_source()
+    return assemble_avr(source, name="avr-radiostack")
+
+
+def _rs_encode_source():
+    """SEC-DED Hamming(13,8) encoder on 8-bit registers.
+
+    Input: r20 = data byte.  Output: r24 = codeword bits 7..0,
+    r25 = codeword bits 12..8.  The layout matches
+    :func:`repro.radio.secded.secded_encode`.  Clobbers r16-r19, r22.
+    """
+    # Parity masks split into (lo, hi) byte pairs; see repro.radio.secded.
+    masks = [
+        (0x54, 0x05, 0),    # p1 -> codeword bit 0
+        (0x64, 0x06, 1),    # p2 -> bit 1
+        (0x70, 0x08, 3),    # p4 -> bit 3
+        (0x00, 0x0F, 7),    # p8 -> bit 7
+    ]
+    lines = ["""
+rs_encode:
+    ; scatter the data bits: lo gets d0 at bit2, d1-d3 at bits 4-6;
+    ; hi gets d4-d7 at bits 0-3 (codeword bits 8-11)
+    mov r16, r20
+    andi r16, 0x01
+    lsl r16
+    lsl r16
+    mov r24, r16
+    mov r16, r20
+    andi r16, 0x0E
+    lsl r16
+    lsl r16
+    lsl r16
+    or r24, r16
+    mov r25, r20
+    swap r25
+    andi r25, 0x0F
+"""]
+    for mask_lo, mask_hi, bit in masks:
+        lines.append("""
+    ; parity over masked codeword bits -> codeword bit %d
+    mov r16, r24
+    andi r16, 0x%02X
+    mov r17, r25
+    andi r17, 0x%02X
+    eor r16, r17
+    rcall rs_parity8
+    %s
+""" % (bit, mask_lo, mask_hi,
+            "\n    ".join(["lsl r16"] * bit
+                          + ["or r2%d, r16" % (5 if bit >= 8 else 4)])))
+    lines.append("""
+    ; overall parity over codeword bits 11..0 -> bit 12 (hi bit 4)
+    mov r16, r24
+    mov r17, r25
+    andi r17, 0x0F
+    eor r16, r17
+    rcall rs_parity8
+    swap r16                 ; bit0 -> bit4
+    or r25, r16
+    ret
+
+; rs_parity8: r16 -> r16 = XOR of all bits (0 or 1).  Clobbers r17.
+rs_parity8:
+    mov r17, r16
+    swap r17
+    eor r16, r17
+    mov r17, r16
+    lsr r17
+    lsr r17
+    eor r16, r17
+    mov r17, r16
+    lsr r17
+    eor r16, r17
+    andi r16, 0x01
+    ret
+""")
+    return "".join(lines)

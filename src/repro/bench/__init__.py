@@ -1,0 +1,36 @@
+"""Benchmark harness: scenario runners and reporting for every table and
+figure in the paper's evaluation (Section 4).
+
+Each experiment has a function here that builds the workload, runs it on
+the simulator(s), and returns a structured result; the ``benchmarks/``
+directory wraps these in pytest-benchmark entry points and prints the
+paper-versus-measured tables.
+"""
+
+from repro.bench.harness import (
+    BlinkComparison,
+    HandlerRow,
+    blink_comparison,
+    energy_breakdown,
+    handler_table,
+    instruction_class_energy,
+    radiostack_comparison,
+    sense_comparison,
+    throughput_and_wakeup,
+)
+from repro.bench.platforms import platform_table
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "BlinkComparison",
+    "HandlerRow",
+    "blink_comparison",
+    "energy_breakdown",
+    "handler_table",
+    "instruction_class_energy",
+    "radiostack_comparison",
+    "sense_comparison",
+    "throughput_and_wakeup",
+    "platform_table",
+    "format_table",
+]

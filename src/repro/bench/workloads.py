@@ -1,0 +1,131 @@
+"""Workload generators.
+
+``class_program`` builds the Figure 4 microbenchmarks: a block of one
+instruction class with uniformly distributed random operands, wrapped in
+a counted loop so the dynamic instance count reaches the paper's one
+thousand per class (Section 4.4) within the 4KB IMEM.
+"""
+
+import numpy as np
+
+from repro.isa.opcodes import InstrClass
+
+#: Registers the generators may use as random operands (r8-r12 are kept
+#: for the loop counter and addressing; r13-r15 are special).
+_OPERAND_REGS = (1, 2, 3, 4, 5, 6, 7)
+
+#: Instances per loop body; bodies are mostly two-word instructions, so
+#: this stays well inside the 2048-word IMEM.
+BLOCK_INSTANCES = 250
+LOOP_COUNT = 4
+
+
+def _rng_reg(rng):
+    return "r%d" % rng.choice(_OPERAND_REGS)
+
+
+def _gen_arith_reg(rng):
+    op = rng.choice(["add", "sub", "addc", "subc"])
+    return "%s %s, %s" % (op, _rng_reg(rng), _rng_reg(rng))
+
+
+def _gen_arith_imm(rng):
+    op = rng.choice(["addi", "subi"])
+    return "%s %s, %d" % (op, _rng_reg(rng), rng.randint(0, 1 << 16))
+
+
+def _gen_logical_reg(rng):
+    op = rng.choice(["and", "or", "xor", "mov", "not"])
+    if op in ("mov", "not"):
+        return "%s %s, %s" % (op, _rng_reg(rng), _rng_reg(rng))
+    return "%s %s, %s" % (op, _rng_reg(rng), _rng_reg(rng))
+
+
+def _gen_logical_imm(rng):
+    op = rng.choice(["andi", "ori", "xori", "movi"])
+    return "%s %s, %d" % (op, _rng_reg(rng), rng.randint(0, 1 << 16))
+
+
+def _gen_shift(rng):
+    op = rng.choice(["sll", "srl", "sra"])
+    return "%s %s, %d" % (op, _rng_reg(rng), rng.randint(0, 16))
+
+
+def _gen_load(rng):
+    return "ld %s, %d(r0)" % (_rng_reg(rng), rng.randint(0, 1024))
+
+
+def _gen_store(rng):
+    return "st %s, %d(r0)" % (_rng_reg(rng), rng.randint(1024, 1800))
+
+
+def _gen_imem_load(rng):
+    return "ldi %s, %d(r0)" % (_rng_reg(rng), rng.randint(0, 512))
+
+
+def _gen_branch(rng):
+    # Alternate taken and not-taken branches: r8 holds zero.
+    if rng.randint(0, 2):
+        return "beqz %s, 0" % _rng_reg(rng)  # operands random, mostly != 0
+    return "beqz r8, 0"                      # always taken, to next word
+
+
+def _gen_bitfield(rng):
+    return "bfs %s, %s, 0x%04x" % (_rng_reg(rng), _rng_reg(rng),
+                                   rng.randint(0, 1 << 16))
+
+
+def _gen_rand(rng):
+    return "rand %s" % _rng_reg(rng)
+
+
+def _gen_timer(rng):
+    # schedhi only stages bits -- no timer actually starts, so the
+    # microbenchmark exercises the coprocessor interface without
+    # flooding the event queue.
+    return "schedhi r8, %s" % _rng_reg(rng)
+
+
+_GENERATORS = {
+    InstrClass.ARITH_REG: _gen_arith_reg,
+    InstrClass.ARITH_IMM: _gen_arith_imm,
+    InstrClass.LOGICAL_REG: _gen_logical_reg,
+    InstrClass.LOGICAL_IMM: _gen_logical_imm,
+    InstrClass.SHIFT: _gen_shift,
+    InstrClass.LOAD: _gen_load,
+    InstrClass.STORE: _gen_store,
+    InstrClass.IMEM_LOAD: _gen_imem_load,
+    InstrClass.BRANCH: _gen_branch,
+    InstrClass.BITFIELD: _gen_bitfield,
+    InstrClass.RAND: _gen_rand,
+    InstrClass.TIMER: _gen_timer,
+}
+
+#: Classes covered by the Figure 4 microbenchmarks ("the more commonly
+#: executed instructions").
+FIGURE4_CLASSES = tuple(_GENERATORS)
+
+
+def class_program(instr_class, seed=0, instances=BLOCK_INSTANCES,
+                  loops=LOOP_COUNT):
+    """Build the microbenchmark source for one instruction class.
+
+    Returns ``(source, expected_dynamic_instances)``.
+    """
+    generator = _GENERATORS[instr_class]
+    rng = np.random.RandomState(seed)
+    lines = ["    movi r9, %d" % loops, "    movi r8, 0", ".outer:"]
+    for _ in range(instances):
+        lines.append("    " + generator(rng))
+    lines.append("    subi r9, 1")
+    lines.append("    beqz r9, .done")
+    lines.append("    jmp .outer")
+    lines.append(".done:")
+    lines.append("    halt")
+    return "\n".join(lines) + "\n", instances * loops
+
+
+def random_register_values(seed=0):
+    """Uniformly distributed random operand values for r1..r7."""
+    rng = np.random.RandomState(seed + 1)
+    return {reg: int(rng.randint(0, 1 << 16)) for reg in _OPERAND_REGS}

@@ -1,0 +1,30 @@
+"""A small, deliberately unoptimizing C compiler targeting the SNAP ISA.
+
+The paper "ported lcc, a freely available retargettable C compiler, to
+the SNAP ISA ... we did not introduce any optimizations ... the compiler
+generated a lot of load/store operations that were unnecessary
+(saving/restoring registers)" (Sections 4.2, 4.5).  This package is that
+tool-chain component: a C-subset front end with a naive stack-machine
+code generator whose output has exactly the character the paper
+describes -- "Arith Reg" instructions most frequent, loads second, with
+redundant stack traffic.
+
+Supported language: 16-bit ``int`` (and ``int*``), global scalars and
+arrays, functions with parameters and return values, ``if``/``else``,
+``while``, ``for``, ``break``, ``continue``, ``return``, the usual
+expression operators (including ``*`` ``/`` ``%`` via a linked runtime
+library), and SNAP intrinsics:
+
+``__done()``, ``__rand()``, ``__seed(x)``, ``__r15_read()``,
+``__r15_write(x)``, ``__schedhi(t, v)``, ``__schedlo(t, v)``,
+``__cancel(t)``, ``__bfs(dst, src, mask)``, ``__setaddr(ev, fn)``.
+
+Functions declared with the ``__handler`` qualifier compile as event
+handlers: they are entered from the hardware event queue and end with
+``done`` instead of ``ret``.
+"""
+
+from repro.cc.errors import CompileError
+from repro.cc.compiler import build_c_node, compile_c
+
+__all__ = ["CompileError", "compile_c", "build_c_node"]

@@ -1,0 +1,138 @@
+"""AST node definitions for the C subset."""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: object     # Var, Index, or Deref
+    value: object
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str            # '-', '~', '!'
+    operand: object
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+    args: List[object]
+
+
+@dataclass(frozen=True)
+class Index:
+    base: object
+    index: object
+
+
+@dataclass(frozen=True)
+class Deref:
+    pointer: object
+
+
+@dataclass(frozen=True)
+class AddrOf:
+    target: object     # Var or Index
+
+
+# -- statements --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Block:
+    statements: List[object]
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: object
+
+
+@dataclass(frozen=True)
+class LocalDecl:
+    name: str
+    size: int          # 1 for scalars, N for arrays
+    init: Optional[object]
+
+
+@dataclass(frozen=True)
+class If:
+    condition: object
+    then_body: object
+    else_body: Optional[object]
+
+
+@dataclass(frozen=True)
+class While:
+    condition: object
+    body: object
+
+
+@dataclass(frozen=True)
+class For:
+    init: Optional[object]       # ExprStmt or LocalDecl or None
+    condition: Optional[object]
+    step: Optional[object]       # expression
+    body: object
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[object]
+
+
+@dataclass(frozen=True)
+class Break:
+    pass
+
+
+@dataclass(frozen=True)
+class Continue:
+    pass
+
+
+# -- top level ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    name: str
+    size: int
+    init: List[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    name: str
+    params: List[str]
+    body: Block
+    is_handler: bool = False
+    returns_value: bool = True
+
+
+@dataclass(frozen=True)
+class Program:
+    globals: List[GlobalVar]
+    functions: List[FuncDef]

@@ -1,0 +1,523 @@
+"""Naive stack-machine code generation for the C subset.
+
+Every expression result goes through the stack; every variable access is
+a load or store.  No register allocation, no constant folding, no
+strength reduction -- matching the paper's observation about its own
+unoptimized lcc port ("the compiler generated a lot of load/store
+operations that were unnecessary").
+
+Conventions:
+
+* ``int`` is an unsigned 16-bit word; pointers are word addresses.
+* arguments are pushed left-to-right by the caller, who pops them after
+  the call; the return value comes back in ``r1``.
+* ``r1``-``r7`` are caller-scratch; all live state is on the stack.
+* the runtime routines ``__mulu``/``__divu``/``__modu`` implement
+  ``*``, ``/`` and ``%`` (linked from :mod:`repro.cc.runtime`).
+"""
+
+from repro.cc import ast_nodes as ast
+from repro.cc.errors import CompileError
+
+#: Intrinsics: name -> (argument count, has result).
+_INTRINSICS = {
+    "__done": (0, False),
+    "__rand": (0, True),
+    "__seed": (1, False),
+    "__r15_read": (0, True),
+    "__r15_write": (1, False),
+    "__schedhi": (2, False),
+    "__schedlo": (2, False),
+    "__cancel": (1, False),
+    "__bfs": (3, True),
+    "__setaddr": (2, False),
+}
+
+_RUNTIME_CALLS = {"*": "__mulu", "/": "__divu", "%": "__modu"}
+
+
+class _FunctionContext:
+    def __init__(self, func, generator):
+        self.func = func
+        self.generator = generator
+        self.locals = {}        # name -> (slot, size)
+        self.local_words = 0
+        self.params = {name: index for index, name in enumerate(func.params)}
+        self.temp_depth = 0
+        self.loop_stack = []    # (continue_label, break_label)
+        self.return_label = generator.new_label("ret_" + func.name)
+
+    def add_local(self, name, size, line=None):
+        if name in self.locals or name in self.params:
+            raise CompileError("duplicate local %r" % name, line)
+        self.locals[name] = (self.local_words, size)
+        self.local_words += size
+
+
+class CodeGenerator:
+    """Generates SNAP assembly text from a parsed program."""
+
+    def __init__(self, program):
+        self.program = program
+        self.lines = []
+        self._label_counter = 0
+        self.global_names = {g.name for g in program.globals}
+        self.global_sizes = {g.name: g.size for g in program.globals}
+        self.function_names = {f.name for f in program.functions}
+        self.functions_by_name = {f.name: f for f in program.functions}
+
+    # -- infrastructure ----------------------------------------------------
+
+    def emit(self, text):
+        self.lines.append("    " + text)
+
+    def emit_label(self, label):
+        self.lines.append(label + ":")
+
+    def new_label(self, hint="L"):
+        self._label_counter += 1
+        return ".L%d_%s" % (self._label_counter, hint)
+
+    def generate(self):
+        """Produce the complete assembly module text."""
+        self.lines = []
+        for func in self.program.functions:
+            self._function(func)
+        if self.program.globals:
+            self.lines.append(".data")
+            for declaration in self.program.globals:
+                self.emit_label("g_" + declaration.name)
+                if declaration.init:
+                    self.emit(".word " + ", ".join(
+                        str(v) for v in declaration.init))
+                remaining = declaration.size - len(declaration.init)
+                if remaining:
+                    self.emit(".space %d" % remaining)
+        return "\n".join(self.lines) + "\n"
+
+    # -- functions ------------------------------------------------------------
+
+    def _function(self, func):
+        ctx = _FunctionContext(func, self)
+        self._collect_locals(func.body, ctx)
+        self.emit_label(func.name)
+        if not func.is_handler:
+            self.emit("push lr")
+        if ctx.local_words:
+            self.emit("subi sp, %d" % ctx.local_words)
+        self._statement(func.body, ctx)
+        if ctx.temp_depth != 0:
+            raise AssertionError("temp stack imbalance in %s" % func.name)
+        self.emit("movi r1, 0    ; implicit return value")
+        self.emit_label(ctx.return_label)
+        if ctx.local_words:
+            self.emit("addi sp, %d" % ctx.local_words)
+        if func.is_handler:
+            self.emit("done")
+        else:
+            self.emit("pop lr")
+            self.emit("ret")
+
+    def _collect_locals(self, node, ctx):
+        """Pre-assign every local declared anywhere in the function (one
+        frame allocation, C89-style semantics for this subset)."""
+        if isinstance(node, ast.Block):
+            for statement in node.statements:
+                self._collect_locals(statement, ctx)
+        elif isinstance(node, ast.LocalDecl):
+            ctx.add_local(node.name, node.size)
+        elif isinstance(node, ast.If):
+            self._collect_locals(node.then_body, ctx)
+            if node.else_body is not None:
+                self._collect_locals(node.else_body, ctx)
+        elif isinstance(node, (ast.While,)):
+            self._collect_locals(node.body, ctx)
+        elif isinstance(node, ast.For):
+            if node.init is not None:
+                self._collect_locals(node.init, ctx)
+            self._collect_locals(node.body, ctx)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _statement(self, node, ctx):
+        if isinstance(node, ast.Block):
+            for statement in node.statements:
+                self._statement(statement, ctx)
+        elif isinstance(node, ast.ExprStmt):
+            self._expression(node.expr, ctx)
+            self._pop_discard(ctx)
+        elif isinstance(node, ast.LocalDecl):
+            if node.init is not None:
+                self._expression(node.init, ctx)
+                self._pop("r1", ctx)
+                self.emit("st r1, %d(sp)    ; init %s"
+                          % (self._local_offset(node.name, ctx), node.name))
+        elif isinstance(node, ast.If):
+            self._if(node, ctx)
+        elif isinstance(node, ast.While):
+            self._while(node, ctx)
+        elif isinstance(node, ast.For):
+            self._for(node, ctx)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                self._expression(node.value, ctx)
+                self._pop("r1", ctx)
+            else:
+                self.emit("movi r1, 0")
+            self.emit("jmp %s" % ctx.return_label)
+        elif isinstance(node, ast.Break):
+            if not ctx.loop_stack:
+                raise CompileError("break outside a loop")
+            self.emit("jmp %s" % ctx.loop_stack[-1][1])
+        elif isinstance(node, ast.Continue):
+            if not ctx.loop_stack:
+                raise CompileError("continue outside a loop")
+            self.emit("jmp %s" % ctx.loop_stack[-1][0])
+        else:
+            raise AssertionError("unknown statement %r" % (node,))
+
+    def _branch_if_false(self, ctx, label):
+        """Pop the condition and jump to *label* when it is zero, using
+        the long-range-safe pattern (beqz only reaches +/-32 words)."""
+        self._pop("r1", ctx)
+        around = self.new_label("cond")
+        self.emit("bnez r1, %s" % around)
+        self.emit("jmp %s" % label)
+        self.emit_label(around)
+
+    def _if(self, node, ctx):
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self._expression(node.condition, ctx)
+        self._branch_if_false(ctx, else_label)
+        self._statement(node.then_body, ctx)
+        if node.else_body is not None:
+            self.emit("jmp %s" % end_label)
+            self.emit_label(else_label)
+            self._statement(node.else_body, ctx)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def _while(self, node, ctx):
+        top = self.new_label("while")
+        end = self.new_label("endwhile")
+        self.emit_label(top)
+        self._expression(node.condition, ctx)
+        self._branch_if_false(ctx, end)
+        ctx.loop_stack.append((top, end))
+        self._statement(node.body, ctx)
+        ctx.loop_stack.pop()
+        self.emit("jmp %s" % top)
+        self.emit_label(end)
+
+    def _for(self, node, ctx):
+        top = self.new_label("for")
+        step_label = self.new_label("forstep")
+        end = self.new_label("endfor")
+        if node.init is not None:
+            self._statement(node.init, ctx)
+        self.emit_label(top)
+        if node.condition is not None:
+            self._expression(node.condition, ctx)
+            self._branch_if_false(ctx, end)
+        ctx.loop_stack.append((step_label, end))
+        self._statement(node.body, ctx)
+        ctx.loop_stack.pop()
+        self.emit_label(step_label)
+        if node.step is not None:
+            self._expression(node.step, ctx)
+            self._pop_discard(ctx)
+        self.emit("jmp %s" % top)
+        self.emit_label(end)
+
+    # -- stack helpers --------------------------------------------------------------
+
+    def _push(self, reg, ctx):
+        self.emit("push %s" % reg)
+        ctx.temp_depth += 1
+
+    def _pop(self, reg, ctx):
+        self.emit("pop %s" % reg)
+        ctx.temp_depth -= 1
+
+    def _pop_discard(self, ctx):
+        self.emit("addi sp, 1    ; discard")
+        ctx.temp_depth -= 1
+
+    def _local_offset(self, name, ctx):
+        slot, _ = ctx.locals[name]
+        return ctx.temp_depth + slot
+
+    def _param_offset(self, name, ctx):
+        index = ctx.params[name]
+        nargs = len(ctx.func.params)
+        saved_lr = 0 if ctx.func.is_handler else 1
+        return (ctx.temp_depth + ctx.local_words + saved_lr
+                + (nargs - 1 - index))
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _expression(self, node, ctx):
+        """Evaluate *node*; the result ends up pushed on the stack."""
+        if isinstance(node, ast.Num):
+            self.emit("movi r1, %d" % (node.value & 0xFFFF))
+            self._push("r1", ctx)
+        elif isinstance(node, ast.Var):
+            self._load_var(node.name, ctx)
+        elif isinstance(node, ast.Assign):
+            self._assign(node, ctx)
+        elif isinstance(node, ast.Binary):
+            self._binary(node, ctx)
+        elif isinstance(node, ast.Unary):
+            self._unary(node, ctx)
+        elif isinstance(node, ast.Call):
+            self._call(node, ctx)
+        elif isinstance(node, ast.Index):
+            self._element_address(node, ctx)
+            self._pop("r1", ctx)
+            self.emit("ld r1, 0(r1)")
+            self._push("r1", ctx)
+        elif isinstance(node, ast.Deref):
+            self._expression(node.pointer, ctx)
+            self._pop("r1", ctx)
+            self.emit("ld r1, 0(r1)")
+            self._push("r1", ctx)
+        elif isinstance(node, ast.AddrOf):
+            self._address_of(node.target, ctx)
+        else:
+            raise AssertionError("unknown expression %r" % (node,))
+
+    def _load_var(self, name, ctx):
+        if name in ctx.locals:
+            slot, size = ctx.locals[name]
+            if size > 1:
+                self._address_of(ast.Var(name), ctx)
+                return
+            self.emit("ld r1, %d(sp)    ; %s" % (self._local_offset(name, ctx), name))
+        elif name in ctx.params:
+            self.emit("ld r1, %d(sp)    ; param %s"
+                      % (self._param_offset(name, ctx), name))
+        elif name in self.global_names:
+            if self.global_sizes[name] > 1:
+                self.emit("movi r1, g_%s" % name)
+            else:
+                self.emit("ld r1, g_%s(r0)" % name)
+        elif name in self.function_names:
+            self.emit("movi r1, %s" % name)
+        else:
+            raise CompileError("undefined identifier %r" % name)
+        self._push("r1", ctx)
+
+    def _address_of(self, target, ctx):
+        if isinstance(target, ast.Var):
+            name = target.name
+            if name in ctx.locals:
+                self.emit("mov r1, sp")
+                self.emit("addi r1, %d" % self._local_offset(name, ctx))
+            elif name in ctx.params:
+                self.emit("mov r1, sp")
+                self.emit("addi r1, %d" % self._param_offset(name, ctx))
+            elif name in self.global_names:
+                self.emit("movi r1, g_%s" % name)
+            else:
+                raise CompileError("cannot take the address of %r" % name)
+            self._push("r1", ctx)
+        elif isinstance(target, ast.Index):
+            self._element_address(target, ctx)
+        else:
+            raise CompileError("invalid address-of target")
+
+    def _element_address(self, node, ctx):
+        self._expression(node.base, ctx)
+        self._expression(node.index, ctx)
+        self._pop("r2", ctx)
+        self._pop("r1", ctx)
+        self.emit("add r1, r2")
+        self._push("r1", ctx)
+
+    def _assign(self, node, ctx):
+        target = node.target
+        if isinstance(target, ast.Var):
+            self._expression(node.value, ctx)
+            self._pop("r1", ctx)
+            name = target.name
+            if name in ctx.locals:
+                self.emit("st r1, %d(sp)    ; %s"
+                          % (self._local_offset(name, ctx), name))
+            elif name in ctx.params:
+                self.emit("st r1, %d(sp)    ; param %s"
+                          % (self._param_offset(name, ctx), name))
+            elif name in self.global_names:
+                self.emit("st r1, g_%s(r0)" % name)
+            else:
+                raise CompileError("assignment to undefined %r" % name)
+            self._push("r1", ctx)
+        elif isinstance(target, (ast.Index, ast.Deref)):
+            if isinstance(target, ast.Index):
+                self._element_address(target, ctx)
+            else:
+                self._expression(target.pointer, ctx)
+            self._expression(node.value, ctx)
+            self._pop("r2", ctx)   # value
+            self._pop("r1", ctx)   # address
+            self.emit("st r2, 0(r1)")
+            self._push("r2", ctx)
+        else:
+            raise CompileError("invalid assignment target")
+
+    def _unary(self, node, ctx):
+        self._expression(node.operand, ctx)
+        self._pop("r1", ctx)
+        if node.op == "-":
+            self.emit("not r1, r1")
+            self.emit("addi r1, 1")
+        elif node.op == "~":
+            self.emit("not r1, r1")
+        elif node.op == "!":
+            self._normalize_zero_test(invert=True)
+        else:
+            raise AssertionError("unknown unary %r" % node.op)
+        self._push("r1", ctx)
+
+    def _normalize_zero_test(self, invert):
+        """r1 <- (r1 == 0) if invert else (r1 != 0)."""
+        label = self.new_label("bool")
+        self.emit("movi r2, %d" % (1 if invert else 0))
+        self.emit("beqz r1, %s" % label)
+        self.emit("movi r2, %d" % (0 if invert else 1))
+        self.emit_label(label)
+        self.emit("mov r1, r2")
+
+    def _binary(self, node, ctx):
+        if node.op in ("&&", "||"):
+            self._short_circuit(node, ctx)
+            return
+        self._expression(node.left, ctx)
+        self._expression(node.right, ctx)
+        self._pop("r2", ctx)
+        self._pop("r1", ctx)
+        op = node.op
+        if op == "+":
+            self.emit("add r1, r2")
+        elif op == "-":
+            self.emit("sub r1, r2")
+        elif op == "&":
+            self.emit("and r1, r2")
+        elif op == "|":
+            self.emit("or r1, r2")
+        elif op == "^":
+            self.emit("xor r1, r2")
+        elif op == "<<":
+            self.emit("sllv r1, r2")
+        elif op == ">>":
+            self.emit("srlv r1, r2")
+        elif op in _RUNTIME_CALLS:
+            self.emit("jal %s" % _RUNTIME_CALLS[op])
+        elif op in ("==", "!="):
+            self.emit("sub r1, r2")
+            self._normalize_zero_test(invert=(op == "=="))
+        elif op in ("<", ">", "<=", ">="):
+            self._compare(op)
+        else:
+            raise AssertionError("unknown binary %r" % op)
+        self._push("r1", ctx)
+
+    def _compare(self, op):
+        """Unsigned comparison via the subtract borrow flag."""
+        if op in (">", "<="):
+            # a > b  ==  b < a : swap operands
+            self.emit("mov r3, r1")
+            self.emit("mov r1, r2")
+            self.emit("mov r2, r3")
+        self.emit("sub r1, r2     ; sets borrow when a < b")
+        self.emit("movi r1, 0")
+        self.emit("movi r2, 0")
+        self.emit("addc r1, r2    ; r1 = borrow")
+        if op in ("<=", ">="):
+            self.emit("xori r1, 1")
+
+    def _short_circuit(self, node, ctx):
+        end = self.new_label("sc")
+        keep_going = self.new_label("sc_rhs")
+        self._expression(node.left, ctx)
+        self._pop("r1", ctx)
+        self._normalize_zero_test(invert=False)
+        # Long-range-safe short circuit: skip the rhs via jmp.
+        if node.op == "&&":
+            self.emit("bnez r1, %s" % keep_going)
+        else:
+            self.emit("beqz r1, %s" % keep_going)
+        self.emit("jmp %s" % end)
+        self.emit_label(keep_going)
+        self._expression(node.right, ctx)
+        self._pop("r1", ctx)
+        self._normalize_zero_test(invert=False)
+        self.emit_label(end)
+        self._push("r1", ctx)
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _call(self, node, ctx):
+        if node.name in _INTRINSICS:
+            self._intrinsic(node, ctx)
+            return
+        if (node.name in self.functions_by_name
+                and len(self.functions_by_name[node.name].params)
+                != len(node.args)):
+            raise CompileError("wrong argument count calling %r" % node.name)
+        for argument in node.args:
+            self._expression(argument, ctx)
+        self.emit("jal %s" % node.name)
+        if node.args:
+            self.emit("addi sp, %d    ; pop args" % len(node.args))
+            ctx.temp_depth -= len(node.args)
+        self._push("r1", ctx)
+
+    def _intrinsic(self, node, ctx):
+        argc, has_result = _INTRINSICS[node.name]
+        name = node.name
+        if name == "__bfs":
+            if len(node.args) != 3 or not isinstance(node.args[2], ast.Num):
+                raise CompileError("__bfs needs (dst, src, constant-mask)")
+            self._expression(node.args[0], ctx)
+            self._expression(node.args[1], ctx)
+            self._pop("r2", ctx)
+            self._pop("r1", ctx)
+            self.emit("bfs r1, r2, %d" % node.args[2].value)
+            self._push("r1", ctx)
+            return
+        if len(node.args) != argc:
+            raise CompileError("%s takes %d argument(s)" % (name, argc))
+        for argument in node.args:
+            self._expression(argument, ctx)
+        if name == "__done":
+            self.emit("done")
+        elif name == "__rand":
+            self.emit("rand r1")
+        elif name == "__seed":
+            self._pop("r1", ctx)
+            self.emit("seed r1")
+        elif name == "__r15_read":
+            self.emit("mov r1, r15")
+        elif name == "__r15_write":
+            self._pop("r1", ctx)
+            self.emit("mov r15, r1")
+        elif name in ("__schedhi", "__schedlo"):
+            self._pop("r2", ctx)
+            self._pop("r1", ctx)
+            self.emit("%s r1, r2" % name.strip("_"))
+        elif name == "__cancel":
+            self._pop("r1", ctx)
+            self.emit("cancel r1")
+        elif name == "__setaddr":
+            self._pop("r2", ctx)
+            self._pop("r1", ctx)
+            self.emit("setaddr r1, r2")
+        else:
+            raise AssertionError("unhandled intrinsic %r" % name)
+        if has_result:
+            self._push("r1", ctx)
+        else:
+            self.emit("movi r1, 0")
+            self._push("r1", ctx)

@@ -1,0 +1,10 @@
+"""Compiler error type."""
+
+
+class CompileError(Exception):
+    """A diagnostic from the C front end or code generator."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        prefix = "line %d: " % line if line is not None else ""
+        super().__init__(prefix + message)

@@ -1,0 +1,72 @@
+"""Tokenizer for the C subset."""
+
+import re
+from dataclasses import dataclass
+
+from repro.cc.errors import CompileError
+
+KEYWORDS = {"int", "void", "if", "else", "while", "for", "return",
+            "break", "continue", "__handler"}
+
+#: Multi-character operators, longest first.
+_OPERATORS = ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+              "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+              "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",",]
+
+_TOKEN_RE = re.compile(
+    r"(?P<ws>\s+)"
+    r"|(?P<comment>//[^\n]*|/\*.*?\*/)"
+    r"|(?P<hex>0[xX][0-9a-fA-F]+)"
+    r"|(?P<num>\d+)"
+    r"|(?P<char>'(?:\\.|[^'\\])')"
+    r"|(?P<ident>[A-Za-z_]\w*)"
+    r"|(?P<op>" + "|".join(re.escape(op) for op in _OPERATORS) + r")",
+    re.DOTALL)
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # 'num', 'ident', 'kw', or the operator text itself
+    value: object
+    line: int
+
+
+def tokenize(source):
+    """Tokenize C source; returns a list of :class:`Token`."""
+    tokens = []
+    position = 0
+    line = 1
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise CompileError("unexpected character %r" % source[position],
+                               line=line)
+        text = match.group()
+        line += text.count("\n")
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "hex":
+            tokens.append(Token("num", int(text, 16), line))
+        elif kind == "num":
+            tokens.append(Token("num", int(text), line))
+        elif kind == "char":
+            body = text[1:-1]
+            if body.startswith("\\"):
+                if body[1] not in _ESCAPES:
+                    raise CompileError("unknown escape %r" % body, line=line)
+                tokens.append(Token("num", _ESCAPES[body[1]], line))
+            else:
+                tokens.append(Token("num", ord(body), line))
+        elif kind == "ident":
+            if text in KEYWORDS:
+                tokens.append(Token("kw", text, line))
+            else:
+                tokens.append(Token("ident", text, line))
+        else:
+            tokens.append(Token(text, text, line))
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,308 @@
+"""Recursive-descent parser for the C subset."""
+
+from repro.cc import ast_nodes as ast
+from repro.cc.errors import CompileError
+from repro.cc.lexer import tokenize
+
+#: Binary operator precedence (higher binds tighter).  Assignment and the
+#: short-circuit operators are handled separately.
+_PRECEDENCE = {
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def parse(source):
+    """Parse C source text into an :class:`ast_nodes.Program`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def _peek(self, ahead=0):
+        return self._tokens[min(self._index + ahead, len(self._tokens) - 1)]
+
+    def _next(self):
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _accept(self, kind, value=None):
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._next()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            raise CompileError("expected %s, got %r"
+                               % (value or kind, actual.value),
+                               line=actual.line)
+        return token
+
+    def _error(self, message):
+        raise CompileError(message, line=self._peek().line)
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self):
+        globals_ = []
+        functions = []
+        while self._peek().kind != "eof":
+            is_handler = bool(self._accept("kw", "__handler"))
+            if self._accept("kw", "void"):
+                returns_value = False
+            else:
+                self._expect("kw", "int")
+                returns_value = True
+            pointer = bool(self._accept("*"))
+            name = self._expect("ident").value
+            if self._peek().kind == "(":
+                functions.append(self._function(name, is_handler,
+                                                returns_value and True))
+            else:
+                if is_handler:
+                    self._error("__handler applies to functions")
+                globals_.append(self._global_var(name))
+        return ast.Program(globals=globals_, functions=functions)
+
+    def _global_var(self, name):
+        size = 1
+        init = []
+        if self._accept("["):
+            size = self._expect("num").value
+            self._expect("]")
+        if self._accept("="):
+            if self._accept("{"):
+                while not self._accept("}"):
+                    init.append(self._constant_expr())
+                    if not self._accept(","):
+                        self._expect("}")
+                        break
+            else:
+                init.append(self._constant_expr())
+        self._expect(";")
+        if len(init) > size:
+            self._error("too many initializers for %r" % name)
+        return ast.GlobalVar(name=name, size=size, init=init)
+
+    def _constant_expr(self):
+        negative = bool(self._accept("-"))
+        value = self._expect("num").value
+        return (-value) & 0xFFFF if negative else value & 0xFFFF
+
+    def _function(self, name, is_handler, returns_value):
+        self._expect("(")
+        params = []
+        if not self._accept(")"):
+            if self._accept("kw", "void") and self._peek().kind == ")":
+                pass
+            else:
+                while True:
+                    self._expect("kw", "int")
+                    self._accept("*")
+                    params.append(self._expect("ident").value)
+                    if not self._accept(","):
+                        break
+            self._expect(")")
+        body = self._block()
+        return ast.FuncDef(name=name, params=params, body=body,
+                           is_handler=is_handler,
+                           returns_value=returns_value)
+
+    # -- statements -------------------------------------------------------------
+
+    def _block(self):
+        self._expect("{")
+        statements = []
+        while not self._accept("}"):
+            statements.append(self._statement())
+        return ast.Block(statements=statements)
+
+    def _statement(self):
+        token = self._peek()
+        if token.kind == "{":
+            return self._block()
+        if token.kind == "kw":
+            if token.value == "int":
+                return self._local_decl()
+            if token.value == "if":
+                return self._if()
+            if token.value == "while":
+                return self._while()
+            if token.value == "for":
+                return self._for()
+            if token.value == "return":
+                self._next()
+                value = None
+                if self._peek().kind != ";":
+                    value = self._expression()
+                self._expect(";")
+                return ast.Return(value=value)
+            if token.value == "break":
+                self._next()
+                self._expect(";")
+                return ast.Break()
+            if token.value == "continue":
+                self._next()
+                self._expect(";")
+                return ast.Continue()
+        if self._accept(";"):
+            return ast.Block(statements=[])
+        expr = self._expression()
+        self._expect(";")
+        return ast.ExprStmt(expr=expr)
+
+    def _local_decl(self):
+        self._expect("kw", "int")
+        self._accept("*")
+        name = self._expect("ident").value
+        size = 1
+        init = None
+        if self._accept("["):
+            size = self._expect("num").value
+            self._expect("]")
+        elif self._accept("="):
+            init = self._expression()
+        self._expect(";")
+        return ast.LocalDecl(name=name, size=size, init=init)
+
+    def _if(self):
+        self._expect("kw", "if")
+        self._expect("(")
+        condition = self._expression()
+        self._expect(")")
+        then_body = self._statement()
+        else_body = None
+        if self._accept("kw", "else"):
+            else_body = self._statement()
+        return ast.If(condition=condition, then_body=then_body,
+                      else_body=else_body)
+
+    def _while(self):
+        self._expect("kw", "while")
+        self._expect("(")
+        condition = self._expression()
+        self._expect(")")
+        return ast.While(condition=condition, body=self._statement())
+
+    def _for(self):
+        self._expect("kw", "for")
+        self._expect("(")
+        init = None
+        if not self._accept(";"):
+            if self._peek() == ("kw", "int"):
+                pass
+            if self._peek().kind == "kw" and self._peek().value == "int":
+                init = self._local_decl()
+            else:
+                init = ast.ExprStmt(expr=self._expression())
+                self._expect(";")
+        condition = None
+        if not self._accept(";"):
+            condition = self._expression()
+            self._expect(";")
+        step = None
+        if self._peek().kind != ")":
+            step = self._expression()
+        self._expect(")")
+        return ast.For(init=init, condition=condition, step=step,
+                       body=self._statement())
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _expression(self):
+        return self._assignment()
+
+    def _assignment(self):
+        left = self._logical_or()
+        if self._accept("="):
+            value = self._assignment()
+            if not isinstance(left, (ast.Var, ast.Index, ast.Deref)):
+                self._error("invalid assignment target")
+            return ast.Assign(target=left, value=value)
+        return left
+
+    def _logical_or(self):
+        left = self._logical_and()
+        while self._accept("||"):
+            left = ast.Binary(op="||", left=left, right=self._logical_and())
+        return left
+
+    def _logical_and(self):
+        left = self._binary(0)
+        while self._accept("&&"):
+            left = ast.Binary(op="&&", left=left, right=self._binary(0))
+        return left
+
+    def _binary(self, min_precedence):
+        left = self._unary()
+        while True:
+            token = self._peek()
+            precedence = _PRECEDENCE.get(token.kind)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._next()
+            right = self._binary(precedence + 1)
+            left = ast.Binary(op=token.kind, left=left, right=right)
+
+    def _unary(self):
+        if self._accept("-"):
+            return ast.Unary(op="-", operand=self._unary())
+        if self._accept("~"):
+            return ast.Unary(op="~", operand=self._unary())
+        if self._accept("!"):
+            return ast.Unary(op="!", operand=self._unary())
+        if self._accept("*"):
+            return ast.Deref(pointer=self._unary())
+        if self._accept("&"):
+            target = self._unary()
+            if not isinstance(target, (ast.Var, ast.Index)):
+                self._error("& requires a variable or array element")
+            return ast.AddrOf(target=target)
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._primary()
+        while True:
+            if self._accept("["):
+                index = self._expression()
+                self._expect("]")
+                expr = ast.Index(base=expr, index=index)
+            else:
+                return expr
+
+    def _primary(self):
+        token = self._peek()
+        if token.kind == "num":
+            self._next()
+            return ast.Num(value=token.value & 0xFFFF)
+        if token.kind == "(":
+            self._next()
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        if token.kind == "ident":
+            self._next()
+            if self._accept("("):
+                args = []
+                if self._peek().kind != ")":
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return ast.Call(name=token.value, args=args)
+            return ast.Var(name=token.value)
+        self._error("unexpected token %r" % (token.value,))

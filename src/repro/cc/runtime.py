@@ -1,0 +1,78 @@
+"""The compiler's runtime support library, in SNAP assembly.
+
+SNAP has no hardware multiplier or divider (the execution-unit list in
+Section 3.1), so ``*``, ``/`` and ``%`` lower to calls into these
+routines.  Convention: operands in r1 and r2, result in r1; r3-r7 are
+clobbered.  The multiplier exits early when the remaining multiplier
+bits are zero -- average-case behavior in the QDI spirit.
+"""
+
+
+def runtime_source():
+    """Assembly source of the C runtime library module."""
+    return r"""
+; __mulu: r1 = (r1 * r2) mod 2^16.  Shift-and-add.
+__mulu:
+    movi r3, 0              ; accumulator
+.mul_loop:
+    beqz r2, .mul_done      ; early exit: no multiplier bits left
+    mov r4, r2
+    andi r4, 1
+    beqz r4, .mul_skip
+    add r3, r1
+.mul_skip:
+    sll r1, 1
+    srl r2, 1
+    jmp .mul_loop
+.mul_done:
+    mov r1, r3
+    ret
+
+; __udivmod: divide r1 by r2 -> quotient r3, remainder r4.
+; Restoring shift-subtract division; division by zero yields
+; quotient 0xFFFF and remainder = dividend.
+__udivmod:
+    movi r3, 0              ; quotient
+    movi r4, 0              ; remainder
+    bnez r2, .div_ok
+    movi r3, 0xFFFF
+    mov r4, r1
+    ret
+.div_ok:
+    movi r5, 16             ; bit counter
+.div_loop:
+    ; remainder = (remainder << 1) | msb(dividend); dividend <<= 1
+    sll r4, 1
+    mov r6, r1
+    srl r6, 15
+    or r4, r6
+    sll r1, 1
+    sll r3, 1               ; quotient <<= 1
+    mov r6, r4
+    sub r6, r2              ; borrow set when remainder < divisor
+    movi r7, 0
+    addc r7, r7             ; r7 = borrow
+    bnez r7, .div_next      ; remainder < divisor: leave it alone
+    mov r4, r6              ; remainder -= divisor
+    ori r3, 1               ; quotient bit
+.div_next:
+    subi r5, 1
+    bnez r5, .div_loop
+    ret
+
+; __divu: r1 = r1 / r2 (unsigned).
+__divu:
+    push lr
+    jal __udivmod
+    mov r1, r3
+    pop lr
+    ret
+
+; __modu: r1 = r1 % r2 (unsigned).
+__modu:
+    push lr
+    jal __udivmod
+    mov r1, r4
+    pop lr
+    ret
+"""

@@ -1,0 +1,38 @@
+"""SNAP/LE's two coprocessors.
+
+The *timer coprocessor* (Section 3.2) holds three self-decrementing 24-bit
+timer registers and inserts event tokens on expiry and on cancellation.
+The *message coprocessor* (Section 3.3) is the interface between the core
+and the node's radio and sensors, reached through the two 16-bit FIFOs
+that register ``r15`` maps onto.
+"""
+
+from repro.coprocessors.fifo import Fifo
+from repro.coprocessors.commands import (
+    CMD_IDLE,
+    CMD_LED,
+    CMD_QUERY,
+    CMD_RX,
+    CMD_TX,
+    command_kind,
+    command_payload,
+    make_command,
+)
+from repro.coprocessors.timer import NUM_TIMERS, TIMER_MAX, TimerCoprocessor
+from repro.coprocessors.message import MessageCoprocessor
+
+__all__ = [
+    "Fifo",
+    "CMD_IDLE",
+    "CMD_LED",
+    "CMD_QUERY",
+    "CMD_RX",
+    "CMD_TX",
+    "command_kind",
+    "command_payload",
+    "make_command",
+    "NUM_TIMERS",
+    "TIMER_MAX",
+    "TimerCoprocessor",
+    "MessageCoprocessor",
+]

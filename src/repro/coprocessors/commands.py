@@ -1,0 +1,34 @@
+"""Command words understood by the message coprocessor.
+
+Programs talk to the message coprocessor by writing 16-bit words to r15
+(Section 3.3): an ``RX`` command configures the radio for reception, a
+``TX`` command followed by a data word transmits, and a ``Query`` command
+polls a sensor.  The paper does not publish the bit-level command layout;
+this reproduction uses the top four bits as the command kind and the low
+twelve bits as a payload (sensor/port selector, mode flags).
+"""
+
+#: Command kinds (the value of the top nibble).
+CMD_IDLE = 0x0   # radio off / coprocessor idle
+CMD_RX = 0x1     # configure radio for reception
+CMD_TX = 0x2     # next word written to r15 is a data word to transmit
+CMD_QUERY = 0x3  # poll sensor <payload>; value arrives via r15 + event
+CMD_LED = 0x4    # write <payload> to the LED/GPIO sensor port
+CMD_CCA = 0x5    # clear-channel assessment: 1/0 pushed to r15 at once
+
+
+def make_command(kind, payload=0):
+    """Build a command word from a kind and 12-bit payload."""
+    if not 0 <= kind <= 0xF:
+        raise ValueError("command kind out of range: %r" % (kind,))
+    if not 0 <= payload <= 0x0FFF:
+        raise ValueError("command payload out of range: %r" % (payload,))
+    return (kind << 12) | payload
+
+
+def command_kind(word):
+    return (word >> 12) & 0xF
+
+
+def command_payload(word):
+    return word & 0x0FFF

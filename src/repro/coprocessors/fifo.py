@@ -1,0 +1,55 @@
+"""The 16-bit message FIFOs (Section 3.3)."""
+
+from collections import deque
+
+
+class Fifo:
+    """A bounded FIFO of 16-bit words with occupancy statistics."""
+
+    def __init__(self, capacity=16, name="fifo"):
+        if capacity <= 0:
+            raise ValueError("fifo capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._words = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.max_occupancy = 0
+
+    def __len__(self):
+        return len(self._words)
+
+    @property
+    def empty(self):
+        return not self._words
+
+    @property
+    def full(self):
+        return len(self._words) >= self.capacity
+
+    def push(self, word):
+        """Append a word; raises ``OverflowError`` when full.
+
+        An asynchronous FIFO exerts backpressure rather than dropping; the
+        producer (core or coprocessor) is expected to check :attr:`full`
+        and stall.  Overflow here therefore indicates a modeling bug.
+        """
+        if self.full:
+            raise OverflowError("%s: push to full fifo (capacity %d)"
+                                % (self.name, self.capacity))
+        self._words.append(word & 0xFFFF)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._words))
+
+    def pop(self):
+        """Remove and return the head word; raises ``IndexError`` if empty."""
+        if not self._words:
+            raise IndexError("%s: pop from empty fifo" % self.name)
+        self.pops += 1
+        return self._words.popleft()
+
+    def peek(self):
+        return self._words[0] if self._words else None
+
+    def clear(self):
+        self._words.clear()

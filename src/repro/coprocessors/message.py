@@ -1,0 +1,188 @@
+"""The message coprocessor (Section 3.3).
+
+The interface between the processor core and the node's radio and
+sensors.  All traffic flows through two 16-bit FIFOs mapped onto r15:
+
+* the **incoming** FIFO carries words the core writes to r15 (commands,
+  and TX data words following a TX command);
+* the **outgoing** FIFO carries words the core reads from r15 (received
+  radio words, sensor values).
+
+The coprocessor translates device activity into event tokens (radio word
+arrival, transmit completion, sensor interrupts, query completion), which
+is how off-chip interrupts are eliminated from the core (Section 3.1).
+Word-by-word radio delivery -- rather than the bit-by-bit interrupt scheme
+of conventional microcontrollers -- is the paper's Section 3.3 argument;
+the bit/word conversion happens here, off the core's critical path.
+"""
+
+from repro.coprocessors.commands import (
+    CMD_CCA,
+    CMD_IDLE,
+    CMD_LED,
+    CMD_QUERY,
+    CMD_RX,
+    CMD_TX,
+    command_kind,
+    command_payload,
+)
+from repro.coprocessors.fifo import Fifo
+from repro.isa.events import Event
+from repro.signals import WouldBlock
+
+
+class MessageCoprocessor:
+    """Mediates between the core's r15 and the attached devices."""
+
+    def __init__(self, kernel, event_queue, fifo_capacity=16, on_token=None):
+        self._kernel = kernel
+        self._event_queue = event_queue
+        self.incoming = Fifo(capacity=fifo_capacity, name="r15-incoming")
+        self.outgoing = Fifo(capacity=fifo_capacity, name="r15-outgoing")
+        self._radio = None
+        self._sensors = {}
+        self._ports = {}
+        self._awaiting_tx_data = False
+        #: Observers notified when the outgoing FIFO gains a word (the
+        #: processor uses this to retry a stalled r15 read).
+        self.on_outgoing_data = []
+        self._on_token = on_token
+        self.commands_processed = 0
+        self.tx_words = 0
+        self.rx_words = 0
+
+    # -- device attachment -------------------------------------------------
+
+    def attach_radio(self, radio):
+        """Attach a radio transceiver; wires up its RX/TX callbacks."""
+        self._radio = radio
+        radio.on_word_received = self.radio_word_received
+        radio.on_tx_complete = self.radio_tx_complete
+
+    def attach_sensor(self, sensor_id, sensor):
+        """Attach a pollable sensor under a 12-bit Query identifier."""
+        if not 0 <= sensor_id <= 0x0FFF:
+            raise ValueError("sensor id out of range: %r" % (sensor_id,))
+        self._sensors[sensor_id] = sensor
+        if hasattr(sensor, "on_interrupt") and sensor.on_interrupt is None:
+            sensor.on_interrupt = self.sensor_interrupt
+
+    def attach_port(self, port_id, port):
+        """Attach an output port (LEDs, GPIO) under a CMD_LED payload id.
+
+        The 12-bit LED payload is split 4/8: the top four bits select the
+        port, the low eight bits are the value written.
+        """
+        if not 0 <= port_id <= 0xF:
+            raise ValueError("port id out of range: %r" % (port_id,))
+        self._ports[port_id] = port
+
+    # -- the core side (r15) ------------------------------------------------
+
+    def push_from_core(self, word):
+        """The core wrote *word* to r15."""
+        self.incoming.push(word)
+        # The coprocessor drains its incoming FIFO immediately at this
+        # behavioral level; the FIFO exists for statistics and to model
+        # occupancy limits.
+        self.incoming.pop()
+        self._process(word)
+
+    def pop_to_core(self):
+        """The core read r15; raises ``WouldBlock`` if no data is ready."""
+        if self.outgoing.empty:
+            raise WouldBlock()
+        return self.outgoing.pop()
+
+    def outgoing_available(self):
+        return len(self.outgoing)
+
+    # -- command processing --------------------------------------------------
+
+    def _process(self, word):
+        self.commands_processed += 1
+        if self._awaiting_tx_data:
+            self._awaiting_tx_data = False
+            self.tx_words += 1
+            self._require_radio().transmit(word)
+            return
+        kind = command_kind(word)
+        payload = command_payload(word)
+        if kind == CMD_TX:
+            self._awaiting_tx_data = True
+        elif kind == CMD_RX:
+            self._require_radio().set_receive(True)
+        elif kind == CMD_IDLE:
+            if self._radio is not None:
+                self._radio.set_receive(False)
+        elif kind == CMD_QUERY:
+            self._query(payload)
+        elif kind == CMD_LED:
+            self._write_port(payload)
+        elif kind == CMD_CCA:
+            # Clear-channel assessment: the answer is available at once
+            # (a synchronous carrier-detect pin read), so the core's
+            # next r15 read does not stall and no event is raised.
+            busy = self._require_radio().carrier_sense()
+            self._deliver(1 if busy else 0)
+        else:
+            raise ValueError("unknown message-coprocessor command 0x%04x"
+                             % word)
+
+    def _require_radio(self):
+        if self._radio is None:
+            raise ValueError("no radio attached to the message coprocessor")
+        return self._radio
+
+    def _query(self, sensor_id):
+        sensor = self._sensors.get(sensor_id)
+        if sensor is None:
+            raise ValueError("Query for unattached sensor %d" % sensor_id)
+        value = sensor.read(self._kernel.now) & 0xFFFF
+        self._deliver(value)
+        self._raise_event(Event.QUERY_DONE)
+
+    def _write_port(self, payload):
+        port_id = (payload >> 8) & 0xF
+        value = payload & 0xFF
+        port = self._ports.get(port_id)
+        if port is None:
+            raise ValueError("write to unattached port %d" % port_id)
+        port.write(value, self._kernel.now)
+
+    # -- the device side ------------------------------------------------------
+
+    def radio_word_received(self, word):
+        """A 16-bit word arrived from the radio."""
+        self.rx_words += 1
+        self._deliver(word)
+        self._raise_event(Event.RADIO_RX)
+
+    def radio_tx_complete(self):
+        """The radio finished serializing the previous TX word."""
+        self._raise_event(Event.RADIO_TX_DONE)
+
+    def sensor_interrupt(self):
+        """A sensor asserted the external-interrupt pin."""
+        self._raise_event(Event.SENSOR_IRQ)
+
+    def deliver_sensor_value(self, value):
+        """Push a sensor value to the core and raise SENSOR_IRQ.
+
+        Used by interrupt-driven sensors that deliver data with the
+        interrupt rather than waiting to be polled.
+        """
+        self._deliver(value & 0xFFFF)
+        self._raise_event(Event.SENSOR_IRQ)
+
+    # -- internals -------------------------------------------------------------
+
+    def _deliver(self, word):
+        self.outgoing.push(word)
+        for observer in list(self.on_outgoing_data):
+            observer()
+
+    def _raise_event(self, event):
+        inserted = self._event_queue.insert(event, raised_at=self._kernel.now)
+        if inserted and self._on_token is not None:
+            self._on_token()

@@ -1,0 +1,119 @@
+"""The timer coprocessor (Section 3.2).
+
+Three self-decrementing 24-bit timer registers.  ``schedhi`` stages the
+highest-order eight bits of a timer's start value; ``schedlo`` sets the
+low sixteen bits and starts the countdown.  When a register reaches zero
+the coprocessor inserts that timer's event token into the event queue.
+
+Cancellation follows the paper's race-avoidance design: cancelling a
+*running* timer stops it and still inserts the timer's token, so software
+that cancelled a timer always observes exactly one token for it (either
+the expiry that won the race, or the cancellation token) and must track
+which timers it cancelled.  Cancelling an idle timer is a no-op -- its
+token was already delivered.
+
+Timers that are not decrementing have no switching activity (QDI), so an
+idle coprocessor consumes nothing.
+"""
+
+from repro.isa.events import Event
+
+NUM_TIMERS = 3
+#: Timer registers are 24 bits wide.
+TIMER_MAX = (1 << 24) - 1
+
+#: Default decrement frequency.  The paper notes the frequency "can be
+#: calibrated against a precise timing reference"; 1 MHz gives a 1 us
+#: resolution and a maximum timeout of ~16.8 s.
+DEFAULT_TICK_HZ = 1_000_000
+
+_TIMER_EVENTS = (Event.TIMER0, Event.TIMER1, Event.TIMER2)
+
+
+class _TimerRegister:
+    """One self-decrementing 24-bit register."""
+
+    def __init__(self):
+        self.high_bits = 0       # staged by schedhi
+        self.running = False
+        self.expires_at = None   # kernel time of expiry
+        self.handle = None       # kernel callback handle
+
+
+class TimerCoprocessor:
+    """Three timer registers feeding the event queue."""
+
+    def __init__(self, kernel, event_queue, tick_hz=DEFAULT_TICK_HZ,
+                 on_token=None):
+        self._kernel = kernel
+        self._event_queue = event_queue
+        self.tick_hz = tick_hz
+        self._registers = [_TimerRegister() for _ in range(NUM_TIMERS)]
+        #: Optional hook called on every inserted token (energy metering).
+        self._on_token = on_token
+        self.expirations = 0
+        self.cancellations = 0
+
+    def _check_index(self, index):
+        if not 0 <= index < NUM_TIMERS:
+            raise ValueError("timer register index out of range: %r" % (index,))
+
+    def schedhi(self, index, value):
+        """Stage the highest-order eight bits of timer *index*."""
+        self._check_index(index)
+        self._registers[index].high_bits = value & 0xFF
+
+    def schedlo(self, index, value):
+        """Set the low sixteen bits and start timer *index*.
+
+        Restarts the timer if it was already running (no token is raised
+        for the superseded countdown).
+        """
+        self._check_index(index)
+        register = self._registers[index]
+        if register.running:
+            self._kernel.cancel(register.handle)
+        start_value = (register.high_bits << 16) | (value & 0xFFFF)
+        duration = start_value / self.tick_hz
+        register.running = True
+        register.expires_at = self._kernel.now + duration
+        register.handle = self._kernel.schedule(duration, self._expire, index)
+
+    def cancel(self, index):
+        """Cancel timer *index*; inserts its token if it was running."""
+        self._check_index(index)
+        register = self._registers[index]
+        if not register.running:
+            return
+        self._kernel.cancel(register.handle)
+        register.running = False
+        register.expires_at = None
+        register.handle = None
+        self.cancellations += 1
+        self._insert_token(index)
+
+    def is_running(self, index):
+        self._check_index(index)
+        return self._registers[index].running
+
+    def remaining(self, index):
+        """Remaining time (seconds) on a running timer, else None."""
+        self._check_index(index)
+        register = self._registers[index]
+        if not register.running:
+            return None
+        return max(0.0, register.expires_at - self._kernel.now)
+
+    def _expire(self, index):
+        register = self._registers[index]
+        register.running = False
+        register.expires_at = None
+        register.handle = None
+        self.expirations += 1
+        self._insert_token(index)
+
+    def _insert_token(self, index):
+        inserted = self._event_queue.insert(_TIMER_EVENTS[index],
+                                            raised_at=self._kernel.now)
+        if inserted and self._on_token is not None:
+            self._on_token()

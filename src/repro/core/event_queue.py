@@ -1,0 +1,89 @@
+"""The hardware event queue (Section 3.1).
+
+Event tokens are inserted by the timer coprocessor (expiry and cancel) and
+by the message coprocessor (radio words, sensor readings, interrupts).
+Instruction fetch pops the head token when it sees ``done``, giving
+atomic, in-order handler execution with no preemption.
+
+The physical queue is finite; the paper notes that if a handler runs too
+long "SNAP/LE may end up dropping pending events because the event queue
+has filled up" (Section 4.2).  The default policy reproduces that: a full
+queue drops the newly arriving token and counts the drop.  A ``fault``
+policy is available for tests that want overflow to be loud.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.exceptions import EventQueueOverflow
+from repro.isa.events import Event
+
+DEFAULT_CAPACITY = 8
+
+POLICY_DROP = "drop"
+POLICY_FAULT = "fault"
+
+
+@dataclass(frozen=True)
+class EventToken:
+    """One token in the event queue: which event, and when it was raised."""
+
+    event: Event
+    raised_at: float = 0.0
+
+
+class EventQueue:
+    """Finite FIFO of :class:`EventToken` s."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY, policy=POLICY_DROP):
+        if capacity <= 0:
+            raise ValueError("event queue capacity must be positive")
+        if policy not in (POLICY_DROP, POLICY_FAULT):
+            raise ValueError("unknown overflow policy %r" % policy)
+        self.capacity = capacity
+        self.policy = policy
+        self._tokens = deque()
+        self.inserted = 0
+        self.dropped = 0
+        #: Observers called (with the token) on every successful insert;
+        #: the processor uses this to wake from sleep.
+        self.on_insert = []
+
+    def __len__(self):
+        return len(self._tokens)
+
+    @property
+    def empty(self):
+        return not self._tokens
+
+    @property
+    def full(self):
+        return len(self._tokens) >= self.capacity
+
+    def insert(self, event, raised_at=0.0):
+        """Insert a token; applies the overflow policy when full.
+
+        Returns True when the token was enqueued, False when dropped.
+        """
+        if self.full:
+            if self.policy == POLICY_FAULT:
+                raise EventQueueOverflow(
+                    "event queue full (capacity %d) inserting %s"
+                    % (self.capacity, Event(event).name))
+            self.dropped += 1
+            return False
+        token = EventToken(event=Event(event), raised_at=raised_at)
+        self._tokens.append(token)
+        self.inserted += 1
+        for observer in list(self.on_insert):
+            observer(token)
+        return True
+
+    def pop(self):
+        """Remove and return the head token; None when empty."""
+        if not self._tokens:
+            return None
+        return self._tokens.popleft()
+
+    def peek(self):
+        return self._tokens[0] if self._tokens else None

@@ -1,0 +1,19 @@
+"""Simulation error types."""
+
+from repro.signals import WouldBlock  # noqa: F401  (re-export)
+
+
+class SimulationError(Exception):
+    """Base class for simulator-detected faults."""
+
+
+class MemoryFault(SimulationError):
+    """Access outside an on-chip memory bank."""
+
+
+class SimulationDeadlock(SimulationError):
+    """The core is stalled on the r15 FIFO and no device can ever wake it."""
+
+
+class EventQueueOverflow(SimulationError):
+    """Raised only when the event queue's overflow policy is 'fault'."""

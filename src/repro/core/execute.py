@@ -1,0 +1,300 @@
+"""Instruction semantics.
+
+Each executor function receives the processor and the decoded instruction,
+performs the architectural side effects, and returns an :class:`Outcome`
+telling the fetch where to go next.  Register accesses go through the
+processor's ``read_reg``/``write_reg`` so the r15 message-FIFO mapping
+applies uniformly to every instruction (Section 3.4: "any instruction can
+communicate with the message coprocessor by using r15").
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.exceptions import SimulationError
+from repro.coprocessors.timer import NUM_TIMERS
+from repro.isa.events import NUM_EVENTS
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import REG_LINK
+
+WORD_MASK = 0xFFFF
+SIGN_BIT = 0x8000
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Result of executing one instruction."""
+
+    #: Next pc; None means fall through to pc + size.
+    next_pc: Optional[int] = None
+    #: True when control transferred (branch taken / jump) -- costs extra
+    #: gate delays in the timing model.
+    taken: bool = False
+    #: Control effects handled by the processor's main loop.
+    done: bool = False
+    halt: bool = False
+
+
+_FALL_THROUGH = Outcome()
+
+
+def _signed(value):
+    return value - 0x10000 if value & SIGN_BIT else value
+
+
+def _execute_add(proc, ins):
+    total = proc.read_reg(ins.rd) + proc.read_reg(ins.rs)
+    proc.carry = (total >> 16) & 1
+    proc.write_reg(ins.rd, total)
+    return _FALL_THROUGH
+
+
+def _execute_addc(proc, ins):
+    total = proc.read_reg(ins.rd) + proc.read_reg(ins.rs) + proc.carry
+    proc.carry = (total >> 16) & 1
+    proc.write_reg(ins.rd, total)
+    return _FALL_THROUGH
+
+
+def _execute_sub(proc, ins):
+    difference = proc.read_reg(ins.rd) - proc.read_reg(ins.rs)
+    proc.carry = 1 if difference < 0 else 0
+    proc.write_reg(ins.rd, difference)
+    return _FALL_THROUGH
+
+
+def _execute_subc(proc, ins):
+    difference = proc.read_reg(ins.rd) - proc.read_reg(ins.rs) - proc.carry
+    proc.carry = 1 if difference < 0 else 0
+    proc.write_reg(ins.rd, difference)
+    return _FALL_THROUGH
+
+
+def _execute_addi(proc, ins):
+    total = proc.read_reg(ins.rd) + ins.imm
+    proc.carry = (total >> 16) & 1
+    proc.write_reg(ins.rd, total)
+    return _FALL_THROUGH
+
+
+def _execute_subi(proc, ins):
+    difference = proc.read_reg(ins.rd) - ins.imm
+    proc.carry = 1 if difference < 0 else 0
+    proc.write_reg(ins.rd, difference)
+    return _FALL_THROUGH
+
+
+def _logical(operation):
+    def execute(proc, ins):
+        result = operation(proc.read_reg(ins.rd), proc.read_reg(ins.rs))
+        proc.write_reg(ins.rd, result)
+        return _FALL_THROUGH
+    return execute
+
+
+def _logical_imm(operation):
+    def execute(proc, ins):
+        result = operation(proc.read_reg(ins.rd), ins.imm)
+        proc.write_reg(ins.rd, result)
+        return _FALL_THROUGH
+    return execute
+
+
+def _execute_not(proc, ins):
+    proc.write_reg(ins.rd, ~proc.read_reg(ins.rs))
+    return _FALL_THROUGH
+
+
+def _execute_mov(proc, ins):
+    proc.write_reg(ins.rd, proc.read_reg(ins.rs))
+    return _FALL_THROUGH
+
+
+def _execute_movi(proc, ins):
+    proc.write_reg(ins.rd, ins.imm)
+    return _FALL_THROUGH
+
+
+def _shift(kind, amount_from_reg):
+    def execute(proc, ins):
+        value = proc.read_reg(ins.rd)
+        amount = (proc.read_reg(ins.rs) & 0xF) if amount_from_reg else ins.rs
+        if kind == "sll":
+            result = value << amount
+        elif kind == "srl":
+            result = value >> amount
+        else:  # sra
+            result = _signed(value) >> amount
+        proc.write_reg(ins.rd, result)
+        return _FALL_THROUGH
+    return execute
+
+
+def _execute_ld(proc, ins):
+    address = (proc.read_reg(ins.rs) + ins.imm) & WORD_MASK
+    proc.write_reg(ins.rd, proc.dmem.read(address))
+    return _FALL_THROUGH
+
+
+def _execute_st(proc, ins):
+    value = proc.read_reg(ins.rd)
+    address = (proc.read_reg(ins.rs) + ins.imm) & WORD_MASK
+    proc.dmem.write(address, value)
+    return _FALL_THROUGH
+
+
+def _execute_ldi(proc, ins):
+    address = (proc.read_reg(ins.rs) + ins.imm) & WORD_MASK
+    proc.write_reg(ins.rd, proc.imem.read(address))
+    return _FALL_THROUGH
+
+
+def _execute_sti(proc, ins):
+    value = proc.read_reg(ins.rd)
+    address = (proc.read_reg(ins.rs) + ins.imm) & WORD_MASK
+    proc.imem.write(address, value)
+    return _FALL_THROUGH
+
+
+def _execute_bfs(proc, ins):
+    destination = proc.read_reg(ins.rd)
+    source = proc.read_reg(ins.rs)
+    mask = ins.imm
+    proc.write_reg(ins.rd, (destination & ~mask) | (source & mask))
+    return _FALL_THROUGH
+
+
+def _execute_rand(proc, ins):
+    proc.write_reg(ins.rd, proc.lfsr.next())
+    return _FALL_THROUGH
+
+
+def _execute_seed(proc, ins):
+    proc.lfsr.seed(proc.read_reg(ins.rd))
+    return _FALL_THROUGH
+
+
+def _timer_index(proc, ins):
+    index = proc.read_reg(ins.rd)
+    if index >= NUM_TIMERS:
+        raise SimulationError(
+            "timer instruction with register number %d (only %d timers)"
+            % (index, NUM_TIMERS))
+    return index
+
+
+def _execute_schedhi(proc, ins):
+    proc.timer.schedhi(_timer_index(proc, ins), proc.read_reg(ins.rs))
+    return _FALL_THROUGH
+
+
+def _execute_schedlo(proc, ins):
+    proc.timer.schedlo(_timer_index(proc, ins), proc.read_reg(ins.rs))
+    return _FALL_THROUGH
+
+
+def _execute_cancel(proc, ins):
+    proc.timer.cancel(_timer_index(proc, ins))
+    return _FALL_THROUGH
+
+
+def _branch(predicate):
+    def execute(proc, ins):
+        value = proc.read_reg(ins.rs)
+        if predicate(value):
+            return Outcome(next_pc=(proc.pc + 1 + ins.imm) & WORD_MASK,
+                           taken=True)
+        return _FALL_THROUGH
+    return execute
+
+
+def _execute_jr(proc, ins):
+    return Outcome(next_pc=proc.read_reg(ins.rd), taken=True)
+
+
+def _execute_jalr(proc, ins):
+    target = proc.read_reg(ins.rd)
+    proc.write_reg(REG_LINK, proc.pc + 1)
+    return Outcome(next_pc=target, taken=True)
+
+
+def _execute_jmp(proc, ins):
+    return Outcome(next_pc=ins.imm, taken=True)
+
+
+def _execute_jal(proc, ins):
+    proc.write_reg(REG_LINK, proc.pc + 2)
+    return Outcome(next_pc=ins.imm, taken=True)
+
+
+def _execute_setaddr(proc, ins):
+    index = proc.read_reg(ins.rd)
+    if index >= NUM_EVENTS:
+        raise SimulationError("setaddr with event number %d (only %d events)"
+                              % (index, NUM_EVENTS))
+    proc.handler_table[index] = proc.read_reg(ins.rs)
+    return _FALL_THROUGH
+
+
+def _execute_nop(proc, ins):
+    return _FALL_THROUGH
+
+
+def _execute_done(proc, ins):
+    return Outcome(done=True)
+
+
+def _execute_halt(proc, ins):
+    return Outcome(halt=True)
+
+
+EXECUTORS = {
+    Opcode.NOP: _execute_nop,
+    Opcode.DONE: _execute_done,
+    Opcode.HALT: _execute_halt,
+    Opcode.SETADDR: _execute_setaddr,
+    Opcode.ADD: _execute_add,
+    Opcode.ADDC: _execute_addc,
+    Opcode.SUB: _execute_sub,
+    Opcode.SUBC: _execute_subc,
+    Opcode.AND: _logical(lambda a, b: a & b),
+    Opcode.OR: _logical(lambda a, b: a | b),
+    Opcode.XOR: _logical(lambda a, b: a ^ b),
+    Opcode.NOT: _execute_not,
+    Opcode.MOV: _execute_mov,
+    Opcode.SLL: _shift("sll", amount_from_reg=False),
+    Opcode.SRL: _shift("srl", amount_from_reg=False),
+    Opcode.SRA: _shift("sra", amount_from_reg=False),
+    Opcode.SLLV: _shift("sll", amount_from_reg=True),
+    Opcode.SRLV: _shift("srl", amount_from_reg=True),
+    Opcode.SRAV: _shift("sra", amount_from_reg=True),
+    Opcode.RAND: _execute_rand,
+    Opcode.SEED: _execute_seed,
+    Opcode.SCHEDHI: _execute_schedhi,
+    Opcode.SCHEDLO: _execute_schedlo,
+    Opcode.CANCEL: _execute_cancel,
+    Opcode.JR: _execute_jr,
+    Opcode.JALR: _execute_jalr,
+    Opcode.BEQZ: _branch(lambda v: v == 0),
+    Opcode.BNEZ: _branch(lambda v: v != 0),
+    Opcode.BLTZ: _branch(lambda v: bool(v & SIGN_BIT)),
+    Opcode.BGEZ: _branch(lambda v: not v & SIGN_BIT),
+    Opcode.MOVI: _execute_movi,
+    Opcode.ADDI: _execute_addi,
+    Opcode.SUBI: _execute_subi,
+    Opcode.ANDI: _logical_imm(lambda a, b: a & b),
+    Opcode.ORI: _logical_imm(lambda a, b: a | b),
+    Opcode.XORI: _logical_imm(lambda a, b: a ^ b),
+    Opcode.LD: _execute_ld,
+    Opcode.ST: _execute_st,
+    Opcode.LDI: _execute_ldi,
+    Opcode.STI: _execute_sti,
+    Opcode.BFS: _execute_bfs,
+    Opcode.JMP: _execute_jmp,
+    Opcode.JAL: _execute_jal,
+}
+
+
+def execute(proc, instruction):
+    """Execute *instruction* on *proc*; returns an :class:`Outcome`."""
+    return EXECUTORS[instruction.opcode](proc, instruction)

@@ -1,0 +1,90 @@
+"""Discrete-event simulation kernel.
+
+Every component in a simulated node or network (processor core, timer
+coprocessor, radio, sensors, wireless channel) shares one kernel and
+schedules callbacks on its timeline.  Time is a float in seconds.
+"""
+
+import heapq
+import itertools
+
+
+class Kernel:
+    """A minimal deterministic discrete-event scheduler."""
+
+    def __init__(self):
+        self._queue = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._cancelled = set()
+
+    @property
+    def now(self):
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` to run *delay* seconds from now.
+
+        Returns an opaque handle usable with :meth:`cancel`.  Events at
+        equal times run in scheduling order (deterministic).
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        handle = next(self._sequence)
+        heapq.heappush(self._queue, (self._now + delay, handle, callback, args))
+        return handle
+
+    def schedule_at(self, time, callback, *args):
+        """Schedule ``callback(*args)`` at an absolute *time*."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def cancel(self, handle):
+        """Cancel a previously scheduled callback (lazily)."""
+        self._cancelled.add(handle)
+
+    @property
+    def pending(self):
+        """Number of scheduled (non-cancelled) events."""
+        return sum(1 for _, handle, _, _ in self._queue
+                   if handle not in self._cancelled)
+
+    def step(self):
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            time, handle, callback, args = heapq.heappop(self._queue)
+            if handle in self._cancelled:
+                self._cancelled.discard(handle)
+                continue
+            self._now = time
+            callback(*args)
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Run events until the queue drains, *until* seconds pass, or
+        *max_events* callbacks have run.  Returns the number of callbacks
+        executed."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self._peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def _peek_time(self):
+        while self._queue:
+            time, handle, _, _ = self._queue[0]
+            if handle in self._cancelled:
+                heapq.heappop(self._queue)
+                self._cancelled.discard(handle)
+                continue
+            return time
+        return None

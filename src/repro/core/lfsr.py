@@ -1,0 +1,34 @@
+"""The pseudo-random-number unit: a 16-bit maximal-length LFSR.
+
+Backs the ``rand`` and ``seed`` instructions (Section 3.4).  A Galois LFSR
+with taps 16, 14, 13, 11 (polynomial ``x^16 + x^14 + x^13 + x^11 + 1``,
+mask ``0xB400``) has a period of 2**16 - 1 over nonzero states.
+"""
+
+TAP_MASK = 0xB400
+DEFAULT_SEED = 0xACE1
+
+
+class Lfsr16:
+    """Galois linear-feedback shift register, 16 bits."""
+
+    def __init__(self, seed=DEFAULT_SEED):
+        self.seed(seed)
+
+    @property
+    def state(self):
+        return self._state
+
+    def seed(self, value):
+        """Load a new seed.  A zero seed would lock the register at zero,
+        so hardware maps it to the nonzero default."""
+        value &= 0xFFFF
+        self._state = value if value else DEFAULT_SEED
+
+    def next(self):
+        """Advance one step and return the new 16-bit state."""
+        lsb = self._state & 1
+        self._state >>= 1
+        if lsb:
+            self._state ^= TAP_MASK
+        return self._state

@@ -1,0 +1,310 @@
+"""The SNAP/LE processor: event-driven fetch/decode/execute with energy
+and timing accounting.
+
+The processor is a component on a :class:`~repro.core.kernel.Kernel`
+timeline.  While awake it schedules one kernel callback per instruction,
+spaced by the asynchronous timing model; while asleep it schedules
+nothing at all -- the QDI property that idle circuits have no switching
+activity falls out of the simulation structure itself.  An event-token
+insertion wakes it after the 18-gate-delay wakeup latency (Section 4.3).
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.coprocessors.message import MessageCoprocessor
+from repro.coprocessors.timer import DEFAULT_TICK_HZ, TimerCoprocessor
+from repro.core.event_queue import POLICY_DROP, EventQueue
+from repro.core.exceptions import SimulationDeadlock, SimulationError
+from repro.core.execute import execute
+from repro.core.kernel import Kernel
+from repro.core.lfsr import Lfsr16
+from repro.core.memory import MemoryBank
+from repro.core.regfile import RegisterFile
+from repro.core.timing import TimingModel, gate_delays_for
+from repro.energy.accounting import EnergyMeter
+from repro.energy.calibration import DEFAULT_CALIBRATION
+from repro.energy.model import EnergyModel
+from repro.isa.encoding import decode
+from repro.isa.events import NUM_EVENTS, Event
+from repro.isa.opcodes import Opcode, spec_for
+from repro.isa.registers import REG_MSG
+
+
+class Mode(enum.Enum):
+    """Processor execution state."""
+
+    RESET = "reset"
+    RUNNING = "running"
+    #: Stalled on an r15 read with the outgoing FIFO empty.
+    STALLED = "stalled"
+    #: Asleep: `done` found the event queue empty; zero switching activity.
+    SLEEPING = "sleeping"
+    #: Between token arrival and the first handler instruction.
+    WAKING = "waking"
+    HALTED = "halted"
+
+
+@dataclass
+class CoreConfig:
+    """Configuration of one SNAP/LE core."""
+
+    voltage: float = 0.6
+    imem_words: int = 2048
+    dmem_words: int = 2048
+    event_queue_capacity: int = 8
+    event_queue_policy: str = POLICY_DROP
+    fifo_capacity: int = 16
+    timer_tick_hz: int = DEFAULT_TICK_HZ
+    leakage_power: float = 0.0
+    calibration: object = DEFAULT_CALIBRATION
+    #: Safety valve: fault if a single run executes more than this many
+    #: instructions (None disables the check).  The default is far above
+    #: any workload in this repository; it exists to turn accidentally
+    #: divergent guest programs into errors instead of hangs.
+    max_instructions: Optional[int] = 10_000_000
+    #: Optional per-instruction trace callback:
+    #: ``trace_fn(processor, time, pc, instruction)``.
+    trace_fn: Optional[Callable] = None
+
+
+class SnapProcessor:
+    """One SNAP/LE core with its coprocessors."""
+
+    def __init__(self, kernel=None, config=None, name="snap"):
+        self.name = name
+        self.config = config or CoreConfig()
+        self.kernel = kernel if kernel is not None else Kernel()
+
+        self.imem = MemoryBank(self.config.imem_words, name="%s.imem" % name)
+        self.dmem = MemoryBank(self.config.dmem_words, name="%s.dmem" % name)
+        self.regs = RegisterFile()
+        self.lfsr = Lfsr16()
+        self.carry = 0
+        self.pc = 0
+        self.handler_table = [0] * NUM_EVENTS
+
+        self.timing = TimingModel(self.config.voltage)
+        self.energy_model = EnergyModel(
+            voltage=self.config.voltage,
+            calibration=self.config.calibration,
+            leakage_power=self.config.leakage_power)
+        self.meter = EnergyMeter()
+
+        self.event_queue = EventQueue(
+            capacity=self.config.event_queue_capacity,
+            policy=self.config.event_queue_policy)
+        self.event_queue.on_insert.append(self._on_event_token)
+
+        self.mcp = MessageCoprocessor(
+            self.kernel, self.event_queue,
+            fifo_capacity=self.config.fifo_capacity,
+            on_token=self._meter_event_token)
+        self.mcp.on_outgoing_data.append(self._on_outgoing_data)
+        self.timer = TimerCoprocessor(
+            self.kernel, self.event_queue,
+            tick_hz=self.config.timer_tick_hz,
+            on_token=self._meter_event_token)
+
+        self.mode = Mode.RESET
+        #: Tag under which instruction statistics are being accumulated
+        #: ("boot", then the current handler's tag).
+        self.current_tag = "boot"
+        #: Maps an event to the statistics tag of its handler; replace
+        #: entries to attribute handler costs to named workloads.
+        self.handler_tags = {event: event.name for event in Event}
+
+        self._sleep_start = None
+        self._instruction_budget_used = 0
+        self._step_pending = False
+        self._decode_cache = {}
+
+    # -- program loading and control ------------------------------------------
+
+    def load(self, program):
+        """Load a linked :class:`~repro.asm.Program` into IMEM/DMEM."""
+        self.imem.load_image(program.imem)
+        self.dmem.load_image(program.dmem)
+        self.pc = program.entry
+
+    def start(self):
+        """Begin executing boot code at the current kernel time."""
+        if self.mode != Mode.RESET:
+            raise SimulationError("processor already started")
+        self.mode = Mode.RUNNING
+        self.current_tag = "boot"
+        self._schedule_step(0.0)
+
+    def run(self, until=None, max_events=None):
+        """Drive the kernel; returns this core's :class:`EnergyMeter`.
+
+        Starts the core if it has not started.  Raises
+        :class:`SimulationDeadlock` if the kernel drains while the core is
+        stalled on r15 (nothing can ever deliver the word it is waiting
+        for).
+        """
+        if self.mode == Mode.RESET:
+            self.start()
+        self.kernel.run(until=until, max_events=max_events)
+        if self.mode == Mode.STALLED and self.kernel.pending == 0:
+            raise SimulationDeadlock(
+                "%s stalled on r15 at pc=0x%04x with no pending activity"
+                % (self.name, self.pc))
+        return self.meter
+
+    @property
+    def asleep(self):
+        return self.mode == Mode.SLEEPING
+
+    @property
+    def halted(self):
+        return self.mode == Mode.HALTED
+
+    def raise_soft_event(self):
+        """Insert a software event token (testing / experiments)."""
+        self.event_queue.insert(Event.SOFT, raised_at=self.kernel.now)
+
+    # -- register access (the r15 convention) ----------------------------------
+
+    def read_reg(self, index):
+        if index == REG_MSG:
+            return self.mcp.pop_to_core()
+        return self.regs.read(index)
+
+    def write_reg(self, index, value):
+        if index == REG_MSG:
+            self.mcp.push_from_core(value & 0xFFFF)
+        else:
+            self.regs.write(index, value)
+
+    # -- the fetch/decode/execute step -----------------------------------------
+
+    def _schedule_step(self, delay):
+        if self._step_pending:
+            raise AssertionError("step already scheduled")
+        self._step_pending = True
+        self.kernel.schedule(delay, self._step)
+
+    def _step(self):
+        self._step_pending = False
+        if self.mode == Mode.HALTED:
+            return
+        if self.mode == Mode.WAKING:
+            self.mode = Mode.RUNNING
+            if not self._dispatch():
+                return
+
+        instruction = self._fetch()
+        if self._stall_needed(instruction):
+            self.mode = Mode.STALLED
+            return
+
+        if self.config.trace_fn is not None:
+            self.config.trace_fn(self, self.kernel.now, self.pc, instruction)
+
+        outcome = execute(self, instruction)
+
+        spec = instruction.spec
+        delay = self.timing.instruction_delay(spec, taken=outcome.taken)
+        breakdown = self.energy_model.instruction_energy(spec)
+        self.meter.record_instruction(spec, breakdown, delay,
+                                      handler_tag=self.current_tag)
+        self._check_budget()
+
+        if outcome.halt:
+            self.mode = Mode.HALTED
+            return
+        if outcome.done:
+            if self._dispatch():
+                self._schedule_step(delay)
+            return
+        if outcome.next_pc is not None:
+            self.pc = outcome.next_pc
+        else:
+            self.pc += instruction.size
+        self._schedule_step(delay)
+
+    def _fetch(self):
+        cached = self._decode_cache.get(self.pc)
+        words = [self.imem.read(self.pc)]
+        if cached is not None and cached[0] == words[0]:
+            instruction = cached[1]
+            if instruction.size == 2:
+                second = self.imem.read(self.pc + 1)
+                if second != cached[2]:
+                    instruction, _ = decode([words[0], second])
+                    self._decode_cache[self.pc] = (words[0], instruction, second)
+            return instruction
+        first = words[0]
+        opcode_value = first >> 10
+        try:
+            spec = spec_for(Opcode(opcode_value))
+        except ValueError:
+            raise SimulationError(
+                "%s: illegal opcode 0x%02x at pc=0x%04x"
+                % (self.name, opcode_value, self.pc)) from None
+        if spec.two_word:
+            words.append(self.imem.read(self.pc + 1))
+        instruction, _ = decode(words)
+        self._decode_cache[self.pc] = (
+            first, instruction, words[1] if len(words) > 1 else None)
+        return instruction
+
+    def _stall_needed(self, instruction):
+        """True when the instruction reads r15 and data is not yet there.
+
+        The check happens before any architectural side effect so a
+        stalled instruction can simply retry when data arrives.
+        """
+        spec = instruction.spec
+        needed = 0
+        if spec.reads_rd and instruction.rd == REG_MSG:
+            needed += 1
+        if spec.reads_rs and instruction.rs == REG_MSG:
+            needed += 1
+        return needed > self.mcp.outgoing_available()
+
+    def _dispatch(self):
+        """Pop the event queue and jump to the handler.
+
+        Returns True when a token was dispatched; False when the queue was
+        empty and the core went to sleep.
+        """
+        token = self.event_queue.pop()
+        if token is None:
+            self.mode = Mode.SLEEPING
+            self._sleep_start = self.kernel.now
+            return False
+        self.pc = self.handler_table[token.event]
+        self.current_tag = self.handler_tags[token.event]
+        self.meter.record_handler_start(self.current_tag)
+        self.meter.record_dispatch_latency(self.kernel.now - token.raised_at)
+        return True
+
+    # -- wakeup ----------------------------------------------------------------
+
+    def _on_event_token(self, token):
+        if self.mode != Mode.SLEEPING:
+            return
+        idle = self.kernel.now - self._sleep_start
+        self.meter.record_idle(idle, self.energy_model.idle_energy(idle))
+        self.meter.record_wakeup(self.energy_model.wakeup_energy)
+        self.mode = Mode.WAKING
+        self._schedule_step(self.timing.wakeup_latency)
+
+    def _on_outgoing_data(self):
+        if self.mode == Mode.STALLED:
+            self.mode = Mode.RUNNING
+            self._schedule_step(0.0)
+
+    def _meter_event_token(self):
+        self.meter.record_event_token(self.energy_model.event_token_energy)
+
+    def _check_budget(self):
+        self._instruction_budget_used += 1
+        limit = self.config.max_instructions
+        if limit is not None and self._instruction_budget_used > limit:
+            raise SimulationError(
+                "%s exceeded the instruction budget of %d -- runaway program?"
+                % (self.name, limit))

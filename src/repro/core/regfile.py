@@ -1,0 +1,44 @@
+"""The register file.
+
+Fifteen physical 16-bit registers; ``r15`` is the architectural window
+onto the message coprocessor's FIFOs and is handled by the processor, not
+here (Section 3.3: "SNAP/LE's register file actually has only fifteen
+physical registers").
+"""
+
+from repro.isa.registers import REG_MSG
+
+WORD_MASK = 0xFFFF
+
+
+class RegisterFile:
+    """Fifteen physical registers, r0..r14."""
+
+    def __init__(self):
+        self._regs = [0] * 15
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, index):
+        if index == REG_MSG:
+            raise AssertionError("r15 reads must go through the message "
+                                 "coprocessor")
+        self.reads += 1
+        return self._regs[index]
+
+    def write(self, index, value):
+        if index == REG_MSG:
+            raise AssertionError("r15 writes must go through the message "
+                                 "coprocessor")
+        self.writes += 1
+        self._regs[index] = value & WORD_MASK
+
+    def peek(self, index):
+        """Debugger access without touching counters."""
+        return self._regs[index]
+
+    def poke(self, index, value):
+        self._regs[index] = value & WORD_MASK
+
+    def snapshot(self):
+        return list(self._regs)

@@ -1,0 +1,26 @@
+"""Execution tracing helpers."""
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class Tracer:
+    """Collects an execution trace; install as ``CoreConfig.trace_fn``.
+
+    Each entry is ``(time, pc, text)``.  Use ``limit`` to keep only the
+    most recent entries of a long run.
+    """
+
+    limit: int = 100000
+    entries: List[Tuple[float, int, str]] = field(default_factory=list)
+
+    def __call__(self, processor, time, pc, instruction):
+        self.entries.append((time, pc, instruction.text()))
+        if len(self.entries) > self.limit:
+            del self.entries[: len(self.entries) - self.limit]
+
+    def format(self, last=None):
+        """Render the trace (optionally only the *last* N entries)."""
+        entries = self.entries if last is None else self.entries[-last:]
+        return "\n".join("%.9f  %04x:  %s" % entry for entry in entries)

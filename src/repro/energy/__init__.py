@@ -1,0 +1,30 @@
+"""Energy modeling and accounting for SNAP/LE.
+
+The paper derives per-instruction energy from SPICE simulation of
+extracted layout, back-annotated into a switch-level simulator
+(Section 4.1).  This package substitutes a *component-level* model: each
+dynamic instruction pays for the IMEM words it fetches, its decode, its
+execution unit and bus transfers, its DMEM access if any, and distributed
+control/buffering overhead.  The component costs are calibrated against
+the paper's published aggregates (Figure 4 class energies, the Table 1
+handler average of about 218 pJ/instruction at 1.8 V, the Section 4.4
+finding that memories consume about half the energy, and the
+33/20/16/9/22 core-side breakdown).
+
+Because the circuits are QDI, idle energy is zero by construction -- only
+executed instructions consume dynamic energy.  Optional leakage modeling
+(the paper's Section 6 future work) is exposed via ``leakage_power``.
+"""
+
+from repro.energy.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.energy.model import EnergyBreakdown, EnergyModel, voltage_scale
+from repro.energy.accounting import EnergyMeter
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "voltage_scale",
+    "EnergyMeter",
+]

@@ -1,0 +1,187 @@
+"""Energy and activity accounting during simulation.
+
+An :class:`EnergyMeter` is attached to a :class:`~repro.core.SnapProcessor`
+and accumulates, per run: total energy, dynamic instruction and cycle
+counts, per-instruction-class statistics (Figure 4), per-component
+breakdown (Section 4.4), and per-handler statistics (Table 1).  Handler
+attribution uses a *tag* that the processor sets when it starts executing
+an event handler.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.energy.model import CORE_BUCKETS
+
+
+@dataclass
+class ClassStats:
+    """Per-instruction-class accumulators."""
+
+    count: int = 0
+    energy: float = 0.0
+
+    @property
+    def energy_per_instruction(self):
+        return self.energy / self.count if self.count else 0.0
+
+
+@dataclass
+class HandlerStats:
+    """Per-handler (or per-tag) accumulators."""
+
+    instructions: int = 0
+    cycles: int = 0
+    energy: float = 0.0
+    invocations: int = 0
+
+    @property
+    def energy_per_instruction(self):
+        return self.energy / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates energy and activity statistics."""
+
+    instructions: int = 0
+    #: SNAP cycles: instruction words processed (a two-word instruction
+    #: takes two cycles -- Section 3.1).
+    cycles: int = 0
+    total_energy: float = 0.0
+    wakeups: int = 0
+    wakeup_energy: float = 0.0
+    event_tokens: int = 0
+    event_token_energy: float = 0.0
+    idle_time: float = 0.0
+    idle_energy: float = 0.0
+    busy_time: float = 0.0
+    #: Event-dispatch latency: time from token insertion to the handler
+    #: starting (includes queueing behind earlier handlers).
+    dispatch_count: int = 0
+    dispatch_latency_total: float = 0.0
+    dispatch_latency_max: float = 0.0
+    by_class: dict = field(default_factory=lambda: defaultdict(ClassStats))
+    by_bucket: dict = field(default_factory=lambda: {
+        bucket: 0.0 for bucket in CORE_BUCKETS})
+    imem_energy: float = 0.0
+    dmem_energy: float = 0.0
+    by_handler: dict = field(default_factory=lambda: defaultdict(HandlerStats))
+
+    def record_instruction(self, spec, breakdown, delay, handler_tag=None):
+        """Account one executed instruction."""
+        words = 2 if spec.two_word else 1
+        self.instructions += 1
+        self.cycles += words
+        self.total_energy += breakdown.total
+        self.busy_time += delay
+
+        stats = self.by_class[spec.instr_class]
+        stats.count += 1
+        stats.energy += breakdown.total
+
+        for bucket in CORE_BUCKETS:
+            self.by_bucket[bucket] += breakdown.bucket(bucket)
+        self.imem_energy += breakdown.imem
+        self.dmem_energy += breakdown.dmem
+
+        if handler_tag is not None:
+            handler = self.by_handler[handler_tag]
+            handler.instructions += 1
+            handler.cycles += words
+            handler.energy += breakdown.total
+
+    def record_wakeup(self, energy):
+        self.wakeups += 1
+        self.wakeup_energy += energy
+        self.total_energy += energy
+
+    def record_event_token(self, energy):
+        self.event_tokens += 1
+        self.event_token_energy += energy
+        self.total_energy += energy
+
+    def record_idle(self, duration, energy):
+        self.idle_time += duration
+        self.idle_energy += energy
+        self.total_energy += energy
+
+    def record_handler_start(self, handler_tag):
+        self.by_handler[handler_tag].invocations += 1
+
+    def record_dispatch_latency(self, latency):
+        self.dispatch_count += 1
+        self.dispatch_latency_total += latency
+        self.dispatch_latency_max = max(self.dispatch_latency_max, latency)
+
+    @property
+    def dispatch_latency_mean(self):
+        if not self.dispatch_count:
+            return 0.0
+        return self.dispatch_latency_total / self.dispatch_count
+
+    @property
+    def energy_per_instruction(self):
+        return self.total_energy / self.instructions if self.instructions else 0.0
+
+    @property
+    def core_energy(self):
+        """Core-side energy (everything except the memory arrays)."""
+        return sum(self.by_bucket.values())
+
+    @property
+    def memory_energy(self):
+        return self.imem_energy + self.dmem_energy
+
+    def core_fractions(self):
+        """Section 4.4 distribution: fraction of core energy per bucket."""
+        core = self.core_energy
+        if core == 0:
+            return {bucket: 0.0 for bucket in CORE_BUCKETS}
+        return {bucket: value / core for bucket, value in self.by_bucket.items()}
+
+    def average_mips(self):
+        """Average throughput over busy time, in MIPS."""
+        if self.busy_time == 0:
+            return 0.0
+        return self.instructions / self.busy_time / 1e6
+
+    def reset(self):
+        """Zero every accumulator (e.g. after boot, before measurement)."""
+        fresh = EnergyMeter()
+        self.__dict__.update(fresh.__dict__)
+
+    def report(self):
+        """A human-readable multi-line summary of the run."""
+        lines = [
+            "instructions : %d (%d cycles)" % (self.instructions, self.cycles),
+            "energy       : %.3f nJ total, %.1f pJ/instruction"
+            % (self.total_energy * 1e9, self.energy_per_instruction * 1e12),
+            "time         : busy %.6f s, idle %.6f s (%d wakeups)"
+            % (self.busy_time, self.idle_time, self.wakeups),
+        ]
+        if self.instructions:
+            lines.append("throughput   : %.1f MIPS while busy"
+                         % self.average_mips())
+            core = self.core_energy
+            if core > 0:
+                fractions = self.core_fractions()
+                lines.append("core split   : " + ", ".join(
+                    "%s %.0f%%" % (bucket, 100 * fraction)
+                    for bucket, fraction in fractions.items()))
+                lines.append("memory share : %.0f%% of total energy"
+                             % (100 * self.memory_energy
+                                / self.total_energy))
+        top = sorted(self.by_class.items(), key=lambda kv: -kv[1].energy)[:5]
+        if top:
+            lines.append("top classes  : " + ", ".join(
+                "%s x%d" % (cls.value, stats.count) for cls, stats in top))
+        handlers = [(tag, stats) for tag, stats in self.by_handler.items()
+                    if stats.invocations]
+        for tag, stats in sorted(handlers):
+            lines.append(
+                "handler %-12s: %d runs, %.1f ins/run, %.2f nJ/run"
+                % (tag, stats.invocations,
+                   stats.instructions / stats.invocations,
+                   stats.energy / stats.invocations * 1e9))
+        return "\n".join(lines)

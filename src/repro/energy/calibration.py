@@ -1,0 +1,62 @@
+"""Calibrated component energies.
+
+All values are picojoules at the nominal 1.8 V supply in TSMC 180 nm, the
+process and voltage of the paper's SPICE reference simulations.  The
+numbers are fitted so that the model reproduces the paper's published
+aggregates (see package docstring); they are not per-transistor physics.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.isa.opcodes import Unit
+
+#: Nominal voltage the calibration is expressed at.
+NOMINAL_VOLTAGE = 1.8
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Component energy costs (pJ at 1.8 V)."""
+
+    #: IMEM array read, per instruction word fetched.
+    imem_read_pj: float = 62.0
+    #: DMEM array access, per load or store.
+    dmem_access_pj: float = 57.0
+    #: Fetch-logic energy: base per instruction + extra per second word.
+    fetch_base_pj: float = 14.0
+    fetch_extra_word_pj: float = 10.0
+    #: Decode energy per instruction.
+    decode_pj: float = 15.0
+    #: Execution-unit (datapath) energy by unit, including register-file
+    #: traffic and the fast-bus transfer.
+    unit_pj: Dict[Unit, float] = field(default_factory=lambda: {
+        Unit.ADDER: 31.0,
+        Unit.LOGIC: 29.0,
+        Unit.SHIFTER: 31.0,
+        Unit.JUMP: 33.0,
+        Unit.DMEM: 27.0,
+        Unit.IMEM: 27.0,
+        Unit.LFSR: 27.0,
+        Unit.TIMER: 23.0,
+        Unit.EVENT: 10.0,
+        Unit.NONE: 4.0,
+    })
+    #: Extra bus energy for units on the slow busses, which reach the
+    #: register file through the fast busses (Section 3.1).
+    slow_bus_pj: float = 12.0
+    #: Memory-interface logic: per memory operation vs. everything else.
+    mem_if_mem_op_pj: float = 26.0
+    mem_if_other_pj: float = 2.0
+    #: Distributed control, decoupling buffers, completion trees:
+    #: base per instruction + extra per second word.
+    misc_base_pj: float = 19.0
+    misc_extra_word_pj: float = 7.0
+    #: Energy of one idle->active wakeup (18 gate transitions through the
+    #: event queue; small by construction).
+    wakeup_pj: float = 4.0
+    #: Event-queue insert/remove energy per token.
+    event_token_pj: float = 3.0
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,59 @@
+"""SNAP instruction-set architecture definition.
+
+This package defines the SNAP ISA from Section 3.4 of the paper: a 16-bit
+RISC instruction set with one- and two-word instructions, organized into the
+paper's five categories:
+
+1. standard RISC instructions (arithmetic, logic, shift, memory, control),
+2. timer-coprocessor instructions (``schedhi``, ``schedlo``, ``cancel``),
+3. message-coprocessor communication via register ``r15``,
+4. network-protocol instructions (``bfs``, ``rand``, ``seed``), and
+5. event-driven execution instructions (``done``, ``setaddr``).
+
+The concrete binary encoding is this reproduction's own (the paper does not
+publish one); the architectural properties it preserves are the ones the
+evaluation depends on: 16-bit instruction words, two-word immediate forms,
+two-word memory operations, and the r15 message-FIFO convention.
+"""
+
+from repro.isa.registers import (
+    NUM_REGISTERS,
+    REG_LINK,
+    REG_MSG,
+    REG_STACK,
+    register_name,
+    register_number,
+)
+from repro.isa.opcodes import Format, InstrClass, Opcode, Unit, spec_for
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    decode_stream,
+    encode,
+)
+from repro.isa.disasm import disassemble, disassemble_words
+from repro.isa.events import Event, NUM_EVENTS
+
+__all__ = [
+    "NUM_REGISTERS",
+    "REG_LINK",
+    "REG_MSG",
+    "REG_STACK",
+    "register_name",
+    "register_number",
+    "Format",
+    "InstrClass",
+    "Opcode",
+    "Unit",
+    "spec_for",
+    "Instruction",
+    "EncodingError",
+    "decode",
+    "decode_stream",
+    "encode",
+    "disassemble",
+    "disassemble_words",
+    "Event",
+    "NUM_EVENTS",
+]

@@ -1,0 +1,31 @@
+"""Disassembler for SNAP machine code."""
+
+from repro.isa.encoding import EncodingError, decode
+
+
+def disassemble(instruction, address=None):
+    """Render one instruction; with *address*, prefix ``addr:`` hex."""
+    text = instruction.text()
+    if address is None:
+        return text
+    return "%04x:  %s" % (address, text)
+
+
+def disassemble_words(words, base=0):
+    """Disassemble a word stream into a list of text lines.
+
+    Words that fail to decode are rendered as ``.word 0xNNNN`` lines so a
+    dump of a mixed code/data image is still readable.
+    """
+    lines = []
+    offset = 0
+    while offset < len(words):
+        try:
+            instruction, size = decode(words, offset)
+        except EncodingError:
+            lines.append("%04x:  .word 0x%04x" % (base + offset, words[offset] & 0xFFFF))
+            offset += 1
+            continue
+        lines.append(disassemble(instruction, address=base + offset))
+        offset += size
+    return lines

@@ -1,0 +1,34 @@
+"""Hardware event identifiers.
+
+Event tokens flowing through SNAP/LE's event queue carry one of these
+identifiers; each identifier has its own entry in the event-handler table
+(paper, Sections 3.1-3.3).  Timer events are raised both on expiry and on
+cancellation (the cancel-race rule of Section 3.2); software distinguishes
+the two cases by tracking which timers it cancelled.
+"""
+
+import enum
+
+
+class Event(enum.IntEnum):
+    """Event identifiers / event-handler-table indices."""
+
+    TIMER0 = 0
+    TIMER1 = 1
+    TIMER2 = 2
+    #: A 16-bit word arrived from the radio and is in the r15 FIFO.
+    RADIO_RX = 3
+    #: The radio finished serializing the previously queued TX word.
+    RADIO_TX_DONE = 4
+    #: A sensor asserted the external-interrupt pin (passive sensing).
+    SENSOR_IRQ = 5
+    #: A Query command completed; the sensor value is in the r15 FIFO.
+    QUERY_DONE = 6
+    #: Reserved for experiments (software-raised events).
+    SOFT = 7
+
+
+NUM_EVENTS = 8
+
+#: Events for which a timer register number accompanies the token.
+TIMER_EVENTS = (Event.TIMER0, Event.TIMER1, Event.TIMER2)

@@ -1,0 +1,109 @@
+"""The decoded-instruction representation shared by the whole tool-chain."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.opcodes import Format, Opcode, spec_for
+from repro.isa.registers import register_name
+
+#: Range of the 6-bit signed branch offset (in words, relative to the word
+#: after the branch).
+BRANCH_OFFSET_MIN = -32
+BRANCH_OFFSET_MAX = 31
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded SNAP instruction.
+
+    Fields that a format does not use are ``None`` (``imm`` for one-word
+    formats, registers for ``J``/``N`` formats, ...).  ``imm`` holds the
+    16-bit immediate of ``RI`` instructions, the 16-bit absolute address of
+    ``J`` instructions, or the signed word offset of ``B`` branches.
+    """
+
+    opcode: Opcode
+    rd: Optional[int] = None
+    rs: Optional[int] = None
+    imm: Optional[int] = None
+
+    @property
+    def spec(self):
+        return spec_for(self.opcode)
+
+    @property
+    def size(self):
+        """Size in 16-bit words (1 or 2)."""
+        return 2 if self.spec.two_word else 1
+
+    def validate(self):
+        """Raise ``ValueError`` if operands do not fit the format."""
+        spec = self.spec
+        fmt = spec.format
+        if fmt == Format.N:
+            _require(self.rd is None and self.rs is None and self.imm is None,
+                     "%s takes no operands" % spec.mnemonic)
+        elif fmt == Format.R:
+            _require(self.imm is None, "%s takes no immediate" % spec.mnemonic)
+            _require_reg(self.rd, spec.mnemonic)
+            _require_reg(self.rs, spec.mnemonic)
+        elif fmt == Format.B:
+            _require(self.rd is None, "%s has no rd field" % spec.mnemonic)
+            _require_reg(self.rs, spec.mnemonic)
+            _require(self.imm is not None
+                     and BRANCH_OFFSET_MIN <= self.imm <= BRANCH_OFFSET_MAX,
+                     "%s offset out of range: %r" % (spec.mnemonic, self.imm))
+        elif fmt == Format.RI:
+            _require_reg(self.rd, spec.mnemonic)
+            _require_reg(self.rs, spec.mnemonic)
+            _require(self.imm is not None and 0 <= self.imm <= 0xFFFF,
+                     "%s immediate out of range: %r" % (spec.mnemonic, self.imm))
+        elif fmt == Format.J:
+            _require(self.rd is None and self.rs is None,
+                     "%s takes only an address" % spec.mnemonic)
+            _require(self.imm is not None and 0 <= self.imm <= 0xFFFF,
+                     "%s address out of range: %r" % (spec.mnemonic, self.imm))
+        return self
+
+    def text(self):
+        """Render back to canonical assembly syntax."""
+        spec = self.spec
+        fmt = spec.format
+        if fmt == Format.N:
+            return spec.mnemonic
+        if fmt == Format.R:
+            if self.opcode in (Opcode.SLL, Opcode.SRL, Opcode.SRA):
+                return "%s %s, %d" % (spec.mnemonic, register_name(self.rd), self.rs)
+            if self.opcode in (Opcode.RAND, Opcode.SEED, Opcode.CANCEL,
+                               Opcode.JR, Opcode.JALR):
+                return "%s %s" % (spec.mnemonic, register_name(self.rd))
+            return "%s %s, %s" % (spec.mnemonic,
+                                  register_name(self.rd), register_name(self.rs))
+        if fmt == Format.B:
+            return "%s %s, %d" % (spec.mnemonic, register_name(self.rs), self.imm)
+        if fmt == Format.RI:
+            if self.opcode in (Opcode.LD, Opcode.ST, Opcode.LDI, Opcode.STI):
+                return "%s %s, %d(%s)" % (spec.mnemonic, register_name(self.rd),
+                                          self.imm, register_name(self.rs))
+            if self.opcode == Opcode.BFS:
+                return "bfs %s, %s, 0x%04x" % (register_name(self.rd),
+                                               register_name(self.rs), self.imm)
+            if self.opcode in (Opcode.MOVI,):
+                return "%s %s, %d" % (spec.mnemonic, register_name(self.rd), self.imm)
+            return "%s %s, %d" % (spec.mnemonic, register_name(self.rd), self.imm)
+        if fmt == Format.J:
+            return "%s 0x%04x" % (spec.mnemonic, self.imm)
+        raise AssertionError("unreachable format %r" % fmt)
+
+    def __str__(self):
+        return self.text()
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError(message)
+
+
+def _require_reg(value, mnemonic):
+    _require(value is not None and 0 <= value <= 15,
+             "%s register operand out of range: %r" % (mnemonic, value))

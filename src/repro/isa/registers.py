@@ -1,0 +1,57 @@
+"""Register conventions for the SNAP ISA.
+
+SNAP/LE's register file has fifteen physical registers (``r0`` .. ``r14``).
+Register ``r15`` is not physical: reading it pops a word from the message
+coprocessor's outgoing FIFO, and writing it pushes a word onto the message
+coprocessor's incoming FIFO (paper, Section 3.3).
+
+Software conventions used by the tool-chain (not enforced by hardware):
+
+* ``r13`` (alias ``sp``) -- stack pointer used by the C compiler,
+* ``r14`` (alias ``lr``) -- link register written by ``jal``/``jalr``,
+* ``r15`` (alias ``msg``) -- the message-coprocessor FIFO register.
+"""
+
+NUM_REGISTERS = 16
+
+REG_STACK = 13
+REG_LINK = 14
+REG_MSG = 15
+
+_ALIASES = {
+    "sp": REG_STACK,
+    "lr": REG_LINK,
+    "msg": REG_MSG,
+}
+
+_ALIAS_BY_NUMBER = {number: alias for alias, number in _ALIASES.items()}
+
+
+def register_name(number, prefer_alias=False):
+    """Return the canonical assembly name for register *number*.
+
+    >>> register_name(3)
+    'r3'
+    >>> register_name(15, prefer_alias=True)
+    'msg'
+    """
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError("register number out of range: %r" % (number,))
+    if prefer_alias and number in _ALIAS_BY_NUMBER:
+        return _ALIAS_BY_NUMBER[number]
+    return "r%d" % number
+
+
+def register_number(name):
+    """Parse a register name (``r7``, ``sp``, ``lr``, ``msg``) to its number.
+
+    Raises ``ValueError`` for anything that is not a register name.
+    """
+    text = name.strip().lower()
+    if text in _ALIASES:
+        return _ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        number = int(text[1:])
+        if 0 <= number < NUM_REGISTERS:
+            return number
+    raise ValueError("not a register name: %r" % (name,))

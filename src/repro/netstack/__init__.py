@@ -1,0 +1,54 @@
+"""The sensor-network software stack, written in SNAP assembly.
+
+This package is the reproduction of the paper's benchmark software
+(Section 4.2): an IEEE 802.11-inspired MAC layer, a simplified AODV
+routing layer, the two sensor applications (Temperature Sense and Range
+Comparison / Threshold), and the TinyOS-comparison programs (Blink,
+Sense, and the MICA high-speed radio stack port).  Everything here
+assembles with :mod:`repro.asm` and runs on the simulated SNAP/LE core.
+
+Modules export functions that return assembly source text; the
+``build_*`` helpers link complete programs (boot code + libraries + app).
+"""
+
+from repro.netstack.layout import (
+    PKT_TYPE_DATA,
+    PKT_TYPE_RREP,
+    PKT_TYPE_RREQ,
+    RX_BUF,
+    TX_BUF,
+    checksum,
+    make_packet,
+)
+from repro.netstack.runtime import boot_source
+from repro.netstack.mac import mac_source
+from repro.netstack.aodv import aodv_source
+from repro.netstack.apps import (
+    build_network_node,
+    build_temperature_app,
+    build_threshold_app,
+)
+from repro.netstack.tinyos_ports import (
+    build_blink_app,
+    build_radiostack_app,
+    build_sense_app,
+)
+
+__all__ = [
+    "PKT_TYPE_DATA",
+    "PKT_TYPE_RREP",
+    "PKT_TYPE_RREQ",
+    "RX_BUF",
+    "TX_BUF",
+    "checksum",
+    "make_packet",
+    "boot_source",
+    "mac_source",
+    "aodv_source",
+    "build_network_node",
+    "build_temperature_app",
+    "build_threshold_app",
+    "build_blink_app",
+    "build_radiostack_app",
+    "build_sense_app",
+]

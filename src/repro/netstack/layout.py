@@ -1,0 +1,163 @@
+"""Shared memory layout, packet format, and Python-side golden helpers.
+
+The DMEM map and packet format are shared between the SNAP assembly
+modules (via ``.equ`` constants emitted by :func:`equates`) and the
+Python test/benchmark harnesses (via the constants below).
+"""
+
+# -- DMEM word addresses -----------------------------------------------------
+
+#: Node identity (set by boot or poked by the harness).
+NODE_ID_ADDR = 0x000
+#: MAC receive state: next write index within RX_BUF.
+RX_INDEX_ADDR = 0x001
+#: MAC receive state: total expected packet words (0 = unknown yet).
+RX_EXPECT_ADDR = 0x002
+#: Set to 1 by the MAC when a verified packet sits in RX_BUF.
+RX_READY_ADDR = 0x003
+#: Count of packets dropped for bad checksums.
+RX_BAD_ADDR = 0x004
+#: Count of packets received and verified.
+RX_COUNT_ADDR = 0x005
+#: Count of packets transmitted.
+TX_COUNT_ADDR = 0x006
+#: Count of packets forwarded by the routing layer.
+FWD_COUNT_ADDR = 0x007
+#: Count of route replies sent.
+RREP_COUNT_ADDR = 0x008
+#: Ring index into the RREQ duplicate-suppression table.
+SEEN_IDX_ADDR = 0x009
+#: Next RREQ sequence number this node will originate.
+RREQ_SEQ_ADDR = 0x00A
+#: Target node id for the next originated RREQ (driver scratch).
+RREQ_TARGET_ADDR = 0x00B
+#: Count of RREQs rebroadcast by this node.
+REBROADCAST_COUNT_ADDR = 0x00C
+#: Scratch words for applications.
+APP_BASE_ADDR = 0x010
+
+#: Packet buffers (32 words each).
+RX_BUF = 0x020
+TX_BUF = 0x040
+
+#: Routing table: ROUTE_ENTRIES entries of (dest, next_hop, hops).
+ROUTE_TABLE = 0x060
+ROUTE_ENTRIES = 8
+ROUTE_ENTRY_WORDS = 3
+
+#: RREQ duplicate-suppression ring: SEEN_ENTRIES pairs of (origin, seq).
+#: Four entries suffice for the handful of concurrent floods a
+#: data-gathering network sees, and keep the per-RREQ scan short.
+SEEN_TABLE = 0x078
+SEEN_ENTRIES = 4
+
+#: Application data region (log buffers etc.).
+APP_DATA = 0x090
+
+#: Initial stack pointer (stack grows down; DMEM is 2048 words).
+STACK_TOP = 0x7C0
+
+# -- packet format -----------------------------------------------------------
+
+#: Header word offsets.
+PKT_DST = 0
+PKT_SRC = 1
+PKT_TYPE = 2
+PKT_SEQ = 3
+PKT_LEN = 4
+PKT_HEADER_WORDS = 5
+
+PKT_TYPE_DATA = 1
+PKT_TYPE_RREQ = 2
+PKT_TYPE_RREP = 3
+
+#: Maximum payload words so a packet fits the 32-word buffers.
+PKT_MAX_PAYLOAD = 26
+
+#: Broadcast address.
+ADDR_BROADCAST = 0xFFFF
+
+# -- message-coprocessor command words (match repro.coprocessors.commands) ---
+
+CMD_WORD_RX = 0x1000
+CMD_WORD_TX = 0x2000
+CMD_WORD_QUERY = 0x3000
+CMD_WORD_LED = 0x4000
+CMD_WORD_CCA = 0x5000
+
+
+def checksum(words):
+    """The MAC's packet checksum: 16-bit sum of all words before it."""
+    return sum(words) & 0xFFFF
+
+
+def make_packet(dst, src, pkt_type, seq, payload):
+    """Build a full packet (header + payload + checksum) as a word list."""
+    if len(payload) > PKT_MAX_PAYLOAD:
+        raise ValueError("payload too long: %d words" % len(payload))
+    words = [dst & 0xFFFF, src & 0xFFFF, pkt_type & 0xFFFF, seq & 0xFFFF,
+             len(payload) & 0xFFFF]
+    words.extend(word & 0xFFFF for word in payload)
+    words.append(checksum(words))
+    return words
+
+
+def parse_packet(words):
+    """Split a packet word list into a dict (harness-side convenience)."""
+    if len(words) < PKT_HEADER_WORDS + 1:
+        raise ValueError("packet too short")
+    body, check = words[:-1], words[-1]
+    if checksum(body) != check:
+        raise ValueError("bad checksum")
+    length = body[PKT_LEN]
+    return {
+        "dst": body[PKT_DST],
+        "src": body[PKT_SRC],
+        "type": body[PKT_TYPE],
+        "seq": body[PKT_SEQ],
+        "payload": body[PKT_HEADER_WORDS:PKT_HEADER_WORDS + length],
+    }
+
+
+def equates():
+    """Assembly ``.equ`` block shared by every netstack module."""
+    pairs = [
+        ("NODE_ID", NODE_ID_ADDR),
+        ("RX_INDEX", RX_INDEX_ADDR),
+        ("RX_EXPECT", RX_EXPECT_ADDR),
+        ("RX_READY", RX_READY_ADDR),
+        ("RX_BAD", RX_BAD_ADDR),
+        ("RX_COUNT", RX_COUNT_ADDR),
+        ("TX_COUNT", TX_COUNT_ADDR),
+        ("FWD_COUNT", FWD_COUNT_ADDR),
+        ("RREP_COUNT", RREP_COUNT_ADDR),
+        ("APP_BASE", APP_BASE_ADDR),
+        ("RX_BUF", RX_BUF),
+        ("TX_BUF", TX_BUF),
+        ("SEEN_IDX", SEEN_IDX_ADDR),
+        ("RREQ_SEQ", RREQ_SEQ_ADDR),
+        ("RREQ_TARGET", RREQ_TARGET_ADDR),
+        ("REBCAST_COUNT", REBROADCAST_COUNT_ADDR),
+        ("ROUTE_TABLE", ROUTE_TABLE),
+        ("ROUTE_ENTRIES", ROUTE_ENTRIES),
+        ("SEEN_TABLE", SEEN_TABLE),
+        ("SEEN_ENTRIES", SEEN_ENTRIES),
+        ("BCAST", ADDR_BROADCAST),
+        ("APP_DATA", APP_DATA),
+        ("STACK_TOP", STACK_TOP),
+        ("PKT_DST", PKT_DST),
+        ("PKT_SRC", PKT_SRC),
+        ("PKT_TYPE", PKT_TYPE),
+        ("PKT_SEQ", PKT_SEQ),
+        ("PKT_LEN", PKT_LEN),
+        ("PKT_HDR", PKT_HEADER_WORDS),
+        ("TYPE_DATA", PKT_TYPE_DATA),
+        ("TYPE_RREQ", PKT_TYPE_RREQ),
+        ("TYPE_RREP", PKT_TYPE_RREP),
+        ("CMD_RX", CMD_WORD_RX),
+        ("CMD_TX", CMD_WORD_TX),
+        ("CMD_QUERY", CMD_WORD_QUERY),
+        ("CMD_LED", CMD_WORD_LED),
+        ("CMD_CCA", CMD_WORD_CCA),
+    ]
+    return "".join("    .equ %s, %d\n" % (name, value) for name, value in pairs)

@@ -1,0 +1,60 @@
+"""Boot-code generation.
+
+SNAP has no operating system: boot code installs event handlers into the
+hardware event-handler table with ``setaddr``, performs app-specific
+initialization, and ends with ``done`` -- after which the node sleeps
+until the first event (Section 3.1).
+"""
+
+from repro.isa.events import Event
+from repro.netstack.layout import STACK_TOP, equates
+
+
+def boot_source(handlers, init_calls=(), node_id=0, start_rx=False,
+                extra=""):
+    """Generate the boot module's assembly source.
+
+    *handlers* maps :class:`~repro.isa.events.Event` (or int) to the
+    handler's global symbol name.  *init_calls* is a sequence of symbols
+    to ``jal`` during boot (library init routines).  With *start_rx*, the
+    boot code puts the radio in receive mode.  *extra* is appended
+    verbatim before the final ``done`` (app-specific boot work such as
+    scheduling the first timer).
+    """
+    lines = [equates()]
+    lines.append("boot:")
+    lines.append("    movi sp, STACK_TOP")
+    lines.append("    movi r1, %d" % node_id)
+    lines.append("    st r1, NODE_ID(r0)")
+    # Seed the pseudo-random unit from the node identity so neighbours
+    # draw distinct CSMA backoffs.  The multiplier scrambles adjacent
+    # ids apart (nearby LFSR seeds produce nearly identical early
+    # outputs); a zero product falls back to the hardware default seed.
+    lines.append("    movi r1, %d" % ((node_id * 40503) & 0xFFFF))
+    lines.append("    seed r1")
+    # Route every event somewhere: unhandled events fall through to a
+    # do-nothing handler instead of re-entering boot at address 0 (the
+    # hardware reset value of the handler table).
+    table = {int(event): ".evt_ignore" for event in Event}
+    for event, symbol in handlers.items():
+        table[int(Event(event))] = symbol
+    for event_number, symbol in sorted(table.items()):
+        lines.append("    movi r1, %d    ; %s" % (event_number,
+                                                  Event(event_number).name))
+        lines.append("    movi r2, %s" % symbol)
+        lines.append("    setaddr r1, r2")
+    for symbol in init_calls:
+        lines.append("    jal %s" % symbol)
+    if start_rx:
+        lines.append("    movi r15, CMD_RX")
+    if extra:
+        lines.append(extra)
+    lines.append("    done")
+    lines.append(".evt_ignore:")
+    lines.append("    done")
+    return "\n".join(lines) + "\n"
+
+
+def stack_top():
+    """The runtime's initial stack pointer (word address in DMEM)."""
+    return STACK_TOP

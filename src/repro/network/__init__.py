@@ -1,0 +1,17 @@
+"""Multi-node network simulation.
+
+A :class:`NetworkSimulator` places several :class:`~repro.node.SensorNode`
+instances on one kernel and one shared :class:`~repro.radio.Channel`, so
+the MAC and AODV software running on the simulated SNAP/LE cores can be
+exercised across real multi-hop topologies.
+"""
+
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import grid_positions, line_positions, random_positions
+
+__all__ = [
+    "NetworkSimulator",
+    "grid_positions",
+    "line_positions",
+    "random_positions",
+]

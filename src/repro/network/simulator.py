@@ -1,0 +1,51 @@
+"""The multi-node discrete-event network simulator."""
+
+from repro.core.kernel import Kernel
+from repro.node.node import SensorNode
+from repro.radio.channel import Channel
+
+
+class NetworkSimulator:
+    """Several SNAP/LE nodes on one kernel and one shared channel."""
+
+    def __init__(self, comm_range=None, bit_error_rate=0.0, seed=0,
+                 corruption="drop"):
+        self.kernel = Kernel()
+        self.channel = Channel(comm_range=comm_range,
+                               bit_error_rate=bit_error_rate, seed=seed,
+                               corruption=corruption)
+        self.nodes = {}
+
+    def add_node(self, node_id, program=None, position=(0.0, 0.0),
+                 config=None, radio_config=None):
+        """Create a node, join it to the channel, optionally load code."""
+        if node_id in self.nodes:
+            raise ValueError("duplicate node id %r" % (node_id,))
+        node = SensorNode(kernel=self.kernel, node_id=node_id,
+                          config=config, radio_config=radio_config,
+                          position=position)
+        self.channel.join(node.radio)
+        if program is not None:
+            node.load(program)
+        self.nodes[node_id] = node
+        return node
+
+    def start(self):
+        """Start every loaded node's processor.
+
+        Nodes without a program (passive sniffers) are left unstarted.
+        """
+        for node in self.nodes.values():
+            if node.loaded and node.processor.mode.value == "reset":
+                node.processor.start()
+
+    def run(self, until=None, max_events=None):
+        """Start all nodes and drive the shared kernel."""
+        self.start()
+        self.kernel.run(until=until, max_events=max_events)
+        return self
+
+    def total_energy(self, include_radio=False):
+        """Sum of node energies across the network."""
+        return sum(node.total_energy(include_radio=include_radio)
+                   for node in self.nodes.values())

@@ -1,0 +1,21 @@
+"""Topology helpers: node placement generators."""
+
+import numpy as np
+
+
+def line_positions(count, spacing=1.0):
+    """Nodes on a line, `spacing` apart -- the classic multi-hop chain."""
+    return [(index * spacing, 0.0) for index in range(count)]
+
+
+def grid_positions(rows, cols, spacing=1.0):
+    """A rows x cols grid."""
+    return [(col * spacing, row * spacing)
+            for row in range(rows) for col in range(cols)]
+
+
+def random_positions(count, width=10.0, height=10.0, seed=0):
+    """Uniform random placement in a width x height field."""
+    rng = np.random.RandomState(seed)
+    return [(float(rng.uniform(0, width)), float(rng.uniform(0, height)))
+            for _ in range(count)]

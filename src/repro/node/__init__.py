@@ -1,0 +1,10 @@
+"""A complete sensor-network node (Figure 1 of the paper).
+
+A :class:`SensorNode` wires together one SNAP/LE processor (with its
+timer and message coprocessors), a radio transceiver, sensors, and LED /
+GPIO ports, all on a shared simulation kernel.
+"""
+
+from repro.node.node import SensorNode
+
+__all__ = ["SensorNode"]

@@ -1,0 +1,70 @@
+"""The sensor-node assembly."""
+
+from repro.core.kernel import Kernel
+from repro.core.processor import CoreConfig, SnapProcessor
+from repro.radio.transceiver import Radio, RadioConfig
+from repro.sensors.ports import LedPort
+
+#: Default Query identifiers / port identifiers used by the library
+#: software (the netstack's .equ constants match these).
+TEMP_SENSOR_ID = 1
+GENERIC_SENSOR_ID = 2
+LED_PORT_ID = 0
+
+
+class SensorNode:
+    """One node: SNAP/LE core + radio + sensors + LEDs."""
+
+    def __init__(self, kernel=None, node_id=0, config=None,
+                 radio_config=None, position=(0.0, 0.0), name=None):
+        self.node_id = node_id
+        self.name = name or ("node%d" % node_id)
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.processor = SnapProcessor(
+            kernel=self.kernel, config=config or CoreConfig(),
+            name="%s.cpu" % self.name)
+        self.radio = Radio(self.kernel, config=radio_config or RadioConfig(),
+                           name="%s.radio" % self.name)
+        self.radio.position = position
+        self.processor.mcp.attach_radio(self.radio)
+        self.leds = LedPort()
+        self.processor.mcp.attach_port(LED_PORT_ID, self.leds)
+        self.sensors = {}
+        #: True once a program image has been loaded; nodes without code
+        #: (e.g. passive sniffers in tests) are never started.
+        self.loaded = False
+
+    @property
+    def position(self):
+        return self.radio.position
+
+    @position.setter
+    def position(self, value):
+        self.radio.position = value
+
+    def attach_sensor(self, sensor, sensor_id=GENERIC_SENSOR_ID):
+        """Attach a pollable sensor under a Query identifier."""
+        self.sensors[sensor_id] = sensor
+        self.processor.mcp.attach_sensor(sensor_id, sensor)
+        return sensor
+
+    def load(self, program):
+        """Load a linked program into the node's processor."""
+        self.processor.load(program)
+        self.loaded = True
+        return self
+
+    def run(self, until=None, max_events=None):
+        """Run this node's kernel (single-node convenience)."""
+        return self.processor.run(until=until, max_events=max_events)
+
+    @property
+    def meter(self):
+        return self.processor.meter
+
+    def total_energy(self, include_radio=False):
+        """Node energy so far: processor, optionally plus the radio."""
+        energy = self.meter.total_energy
+        if include_radio:
+            energy += self.radio.radio_energy()
+        return energy

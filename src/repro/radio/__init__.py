@@ -1,0 +1,39 @@
+"""Radio substrate: transceiver model, shared wireless medium, and the
+coding layers used by the MICA high-speed radio stack comparison.
+
+The paper's prototype node uses an RFM TR1000 transceiver (as in Berkeley
+Motes) at around 19.2 kbps, interfaced through the message coprocessor
+word-by-word (Section 3.3).  :class:`Radio` reproduces that interface: a
+transmit path that serializes 16-bit words at the configured bit rate and
+reports completion, and a receive path that delivers whole words (the
+bit/word conversion the message coprocessor performs off the core's
+critical path).
+
+:class:`Channel` is the shared medium: a broadcast domain with a range
+model, collision detection at word granularity, and an optional random
+bit-error process for failure-injection experiments against the SEC-DED
+and CRC layers.
+"""
+
+from repro.radio.transceiver import Radio, RadioConfig, RadioMode
+from repro.radio.channel import CORRUPTION_DROP, CORRUPTION_FLIP, Channel
+from repro.radio.crc import crc16_ccitt, crc16_update
+from repro.radio.secded import (
+    SecDedStatus,
+    secded_decode,
+    secded_encode,
+)
+
+__all__ = [
+    "Radio",
+    "RadioConfig",
+    "RadioMode",
+    "Channel",
+    "CORRUPTION_DROP",
+    "CORRUPTION_FLIP",
+    "crc16_ccitt",
+    "crc16_update",
+    "SecDedStatus",
+    "secded_decode",
+    "secded_encode",
+]

@@ -1,0 +1,114 @@
+"""The shared wireless medium.
+
+A broadcast domain with a disc range model, word-granularity collision
+detection, and an optional Bernoulli bit-error process for failure
+injection.  Collisions are detected per receiver: a word is corrupted at a
+receiver when any *other* transmission in range of that receiver
+overlapped it in time.
+"""
+
+import math
+
+import numpy as np
+
+
+#: Noise corruption modes: ``drop`` loses the word at the receiver;
+#: ``flip`` delivers it with one random bit inverted (exercising the
+#: SEC-DED layer of the radio stack).
+CORRUPTION_DROP = "drop"
+CORRUPTION_FLIP = "flip"
+
+
+class Channel:
+    """A single shared radio channel."""
+
+    def __init__(self, comm_range=None, bit_error_rate=0.0, seed=0,
+                 corruption=CORRUPTION_DROP):
+        #: Maximum link distance in the same units as radio positions;
+        #: None means every radio hears every other.
+        self.comm_range = comm_range
+        #: Probability that any given transmitted word is corrupted by
+        #: channel noise (applied per receiver, independently).
+        self.bit_error_rate = bit_error_rate
+        if corruption not in (CORRUPTION_DROP, CORRUPTION_FLIP):
+            raise ValueError("unknown corruption mode %r" % (corruption,))
+        self.corruption = corruption
+        self._rng = np.random.RandomState(seed)
+        self._radios = []
+        #: Active transmissions: radio -> (start, end).
+        self._active = {}
+        #: Completed transmission intervals kept for overlap checks:
+        #: (radio, start, end).
+        self._recent = []
+        self.collisions = 0
+        self.words_carried = 0
+        self.noise_corruptions = 0
+
+    def join(self, radio, position=None):
+        """Attach a radio to the medium."""
+        if position is not None:
+            radio.position = position
+        radio.channel = self
+        self._radios.append(radio)
+
+    def in_range(self, sender, receiver):
+        if self.comm_range is None:
+            return True
+        sx, sy = sender.position
+        rx, ry = receiver.position
+        return math.hypot(sx - rx, sy - ry) <= self.comm_range
+
+    def busy_near(self, radio):
+        """Is any in-range radio currently transmitting? (CCA support.)"""
+        return any(other is not radio and self.in_range(other, radio)
+                   for other in self._active)
+
+    # -- called by Radio ----------------------------------------------------
+
+    def begin_transmission(self, radio, word, start, end):
+        self._active[radio] = (start, end)
+
+    def end_transmission(self, radio, word, start, end):
+        self._active.pop(radio, None)
+        self._recent.append((radio, start, end))
+        self._gc(end)
+        self.words_carried += 1
+        for receiver in self._radios:
+            if receiver is radio or not self.in_range(radio, receiver):
+                continue
+            delivered = word
+            corrupted = self._collided(radio, receiver, start, end)
+            if corrupted:
+                # A collision garbles the word beyond any coding layer.
+                self.collisions += 1
+            elif (self.bit_error_rate
+                  and self._rng.random_sample() < self.bit_error_rate):
+                self.noise_corruptions += 1
+                if self.corruption == CORRUPTION_FLIP:
+                    # Channel noise flips one bit; the receiver cannot
+                    # tell -- detection is the coding layer's job.
+                    delivered = word ^ (1 << self._rng.randint(0, 16))
+                else:
+                    corrupted = True
+            receiver.deliver(delivered, corrupted=corrupted)
+
+    # -- internals ------------------------------------------------------------
+
+    def _collided(self, sender, receiver, start, end):
+        """Did any other in-range transmission overlap [start, end]?"""
+        for other, (other_start, other_end) in self._active.items():
+            if other is sender:
+                continue
+            if self.in_range(other, receiver) and other_start < end and start < other_end:
+                return True
+        for other, other_start, other_end in self._recent:
+            if other is sender:
+                continue
+            if self.in_range(other, receiver) and other_start < end and start < other_end:
+                return True
+        return False
+
+    def _gc(self, now):
+        """Drop completed intervals that can no longer overlap anything."""
+        horizon = now - 1.0  # one second is far beyond any word duration
+        self._recent = [entry for entry in self._recent if entry[2] >= horizon]

@@ -1,0 +1,29 @@
+"""CRC-16-CCITT, the packet CRC used by the TinyOS MICA radio stack.
+
+Polynomial 0x1021, MSB-first, conventional initial value 0xFFFF.  The
+bitwise ``crc16_update`` mirrors, step for step, the SNAP assembly
+implementation in :mod:`repro.netstack.radiostack`, so tests can check
+the simulated processor against this golden model.
+"""
+
+POLY = 0x1021
+INIT = 0xFFFF
+
+
+def crc16_update(crc, byte):
+    """Update a running CRC with one data byte (bitwise, MSB first)."""
+    crc ^= (byte & 0xFF) << 8
+    for _ in range(8):
+        if crc & 0x8000:
+            crc = ((crc << 1) ^ POLY) & 0xFFFF
+        else:
+            crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def crc16_ccitt(data, init=INIT):
+    """CRC over an iterable of bytes."""
+    crc = init
+    for byte in data:
+        crc = crc16_update(crc, byte)
+    return crc

@@ -1,0 +1,102 @@
+"""SEC-DED (single-error-correct, double-error-detect) byte coding.
+
+The TinyOS MICA high-speed radio stack applies SEC-DED coding to each
+data byte before transmission (paper, Section 4.6).  We use the classic
+extended Hamming(13,8) construction: four Hamming parity bits at the
+power-of-two positions of a 12-bit codeword, plus an overall parity bit
+for double-error detection.  A codeword fits comfortably in one 16-bit
+radio word.
+
+Codeword layout (1-indexed Hamming positions, bit 0 of the word is
+position 1)::
+
+    position : 1  2  3  4  5  6  7  8  9 10 11 12     13
+    content  : p1 p2 d0 p4 d1 d2 d3 p8 d4 d5 d6 d7   overall
+
+The SNAP assembly implementation in :mod:`repro.netstack.radiostack`
+computes the same code; tests cross-check the two.
+"""
+
+import enum
+
+#: Hamming positions (1-indexed) holding data bits d0..d7.
+_DATA_POSITIONS = (3, 5, 6, 7, 9, 10, 11, 12)
+_PARITY_POSITIONS = (1, 2, 4, 8)
+#: Bit index (0-based) of the overall parity bit in the 16-bit word.
+OVERALL_PARITY_BIT = 12
+
+CODEWORD_BITS = 13
+CODEWORD_MASK = (1 << CODEWORD_BITS) - 1
+
+
+class SecDedStatus(enum.Enum):
+    OK = "ok"
+    CORRECTED = "corrected"
+    UNCORRECTABLE = "uncorrectable"
+
+
+def _parity(value):
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+def secded_encode(byte):
+    """Encode one byte into a 13-bit SEC-DED codeword."""
+    byte &= 0xFF
+    word = 0
+    for bit_index, position in enumerate(_DATA_POSITIONS):
+        if byte & (1 << bit_index):
+            word |= 1 << (position - 1)
+    for parity_position in _PARITY_POSITIONS:
+        parity = 0
+        for position in range(1, 13):
+            if position & parity_position and word & (1 << (position - 1)):
+                parity ^= 1
+        if parity:
+            word |= 1 << (parity_position - 1)
+    if _parity(word & 0x0FFF):
+        word |= 1 << OVERALL_PARITY_BIT
+    return word
+
+
+def secded_decode(word):
+    """Decode a 13-bit codeword.
+
+    Returns ``(byte, status)``.  Single-bit errors (in data, parity, or
+    the overall bit) are corrected; double-bit errors are detected and
+    reported as :data:`SecDedStatus.UNCORRECTABLE` with byte ``None``.
+    """
+    word &= CODEWORD_MASK
+    syndrome = 0
+    for parity_position in _PARITY_POSITIONS:
+        parity = 0
+        for position in range(1, 13):
+            if position & parity_position and word & (1 << (position - 1)):
+                parity ^= 1
+        if parity:
+            syndrome |= parity_position
+    overall = _parity(word)
+
+    status = SecDedStatus.OK
+    if syndrome == 0 and overall == 0:
+        pass
+    elif overall == 1:
+        # A single-bit error: either at Hamming position `syndrome`, or
+        # (when the syndrome is zero) in the overall parity bit itself.
+        if syndrome:
+            word ^= 1 << (syndrome - 1)
+        else:
+            word ^= 1 << OVERALL_PARITY_BIT
+        status = SecDedStatus.CORRECTED
+    else:
+        # Nonzero syndrome with even overall parity: two bits flipped.
+        return None, SecDedStatus.UNCORRECTABLE
+
+    byte = 0
+    for bit_index, position in enumerate(_DATA_POSITIONS):
+        if word & (1 << (position - 1)):
+            byte |= 1 << bit_index
+    return byte, status

@@ -1,0 +1,29 @@
+"""Sensor and port models.
+
+The paper's node talks to physical sensors either actively (the core
+polls via a Query command) or passively (a sensor asserts the external
+interrupt pin) -- Section 3.3.  These models drive both paths with
+synthetic but realistic data, replacing the physical transducers the
+paper's prototype would attach.
+"""
+
+from repro.sensors.adc import Adc
+from repro.sensors.sensor import (
+    ConstantSensor,
+    InterruptSensor,
+    Sensor,
+    TraceSensor,
+)
+from repro.sensors.temperature import TemperatureSensor
+from repro.sensors.ports import LedPort, OutputPort
+
+__all__ = [
+    "Adc",
+    "ConstantSensor",
+    "InterruptSensor",
+    "Sensor",
+    "TraceSensor",
+    "TemperatureSensor",
+    "LedPort",
+    "OutputPort",
+]

@@ -1,0 +1,36 @@
+"""Analog-to-digital conversion model."""
+
+
+class Adc:
+    """Quantizes a physical quantity into an n-bit code.
+
+    Mirrors the successive-approximation ADCs on sensor-node platforms
+    (the ATmega128L has a 10-bit ADC); SNAP/LE reads converted values
+    through the message coprocessor instead of servicing per-conversion
+    interrupts.
+    """
+
+    def __init__(self, bits=10, low=0.0, high=1.0):
+        if bits <= 0 or bits > 16:
+            raise ValueError("adc resolution must be 1..16 bits")
+        if high <= low:
+            raise ValueError("adc range must have high > low")
+        self.bits = bits
+        self.low = low
+        self.high = high
+
+    @property
+    def max_code(self):
+        return (1 << self.bits) - 1
+
+    def convert(self, value):
+        """Quantize *value* (clamped to the input range) to a code."""
+        clamped = min(max(value, self.low), self.high)
+        fraction = (clamped - self.low) / (self.high - self.low)
+        return min(self.max_code, int(fraction * (self.max_code + 1)))
+
+    def to_physical(self, code):
+        """Midpoint reconstruction of a code back to a physical value."""
+        code = min(max(code, 0), self.max_code)
+        step = (self.high - self.low) / (self.max_code + 1)
+        return self.low + (code + 0.5) * step

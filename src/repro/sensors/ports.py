@@ -1,0 +1,37 @@
+"""Output ports (LEDs, GPIO) driven through the message coprocessor."""
+
+
+class OutputPort:
+    """Records every value written, with its timestamp."""
+
+    def __init__(self, name="port"):
+        self.name = name
+        self.history = []
+
+    @property
+    def value(self):
+        """Most recently written value (None before the first write)."""
+        return self.history[-1][1] if self.history else None
+
+    def write(self, value, now):
+        self.history.append((now, value & 0xFF))
+
+
+class LedPort(OutputPort):
+    """The LED bank of a sensor node (the Blink/Sense display target)."""
+
+    def __init__(self, leds=3, name="leds"):
+        super().__init__(name=name)
+        self.leds = leds
+
+    def toggles(self, led=0):
+        """Number of observed state changes of one LED bit."""
+        mask = 1 << led
+        count = 0
+        previous = None
+        for _, value in self.history:
+            bit = value & mask
+            if previous is not None and bit != previous:
+                count += 1
+            previous = bit
+        return count

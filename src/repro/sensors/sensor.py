@@ -1,0 +1,91 @@
+"""Base sensor models."""
+
+import numpy as np
+
+
+class Sensor:
+    """A pollable sensor: returns a 16-bit code when read.
+
+    Subclasses implement :meth:`read`.  Sensors can also be passive: an
+    :class:`InterruptSensor` asserts the external-interrupt pin instead
+    of (or as well as) being polled.
+    """
+
+    def read(self, now):
+        """Return the sensor code (0..65535) at simulation time *now*."""
+        raise NotImplementedError
+
+    #: Assigned by the message coprocessor when attached; calling it
+    #: raises a SENSOR_IRQ event token.
+    on_interrupt = None
+
+
+class ConstantSensor(Sensor):
+    """Always reads the same value (tests, calibration)."""
+
+    def __init__(self, value):
+        self.value = value & 0xFFFF
+
+    def read(self, now):
+        return self.value
+
+
+class TraceSensor(Sensor):
+    """Replays a recorded sample trace at a fixed sample rate.
+
+    Models a data-gathering deployment where readings follow a captured
+    real-world signal; the trace index is derived from simulation time so
+    repeated polls within one sample period read the same value.
+    """
+
+    def __init__(self, samples, sample_hz=1.0, wrap=True):
+        if not samples:
+            raise ValueError("trace must contain at least one sample")
+        self.samples = [int(sample) & 0xFFFF for sample in samples]
+        self.sample_hz = sample_hz
+        self.wrap = wrap
+        self.reads = 0
+
+    def read(self, now):
+        self.reads += 1
+        index = int(now * self.sample_hz)
+        if self.wrap:
+            index %= len(self.samples)
+        else:
+            index = min(index, len(self.samples) - 1)
+        return self.samples[index]
+
+
+class InterruptSensor(Sensor):
+    """A passive sensor that asserts the external-interrupt pin.
+
+    Schedule interrupt times up front (``schedule_interrupts``) or fire
+    one programmatically (``fire``).  Reads return the value latched at
+    the most recent interrupt.
+    """
+
+    def __init__(self, kernel, values=None, seed=0):
+        self.kernel = kernel
+        self._rng = np.random.RandomState(seed)
+        self._values = list(values) if values is not None else None
+        self._value_index = 0
+        self._latched = 0
+        self.fires = 0
+
+    def schedule_interrupts(self, times):
+        for time in times:
+            self.kernel.schedule_at(time, self.fire)
+
+    def fire(self):
+        """Latch the next value and assert the interrupt pin."""
+        if self._values is not None:
+            self._latched = self._values[self._value_index % len(self._values)]
+            self._value_index += 1
+        else:
+            self._latched = int(self._rng.randint(0, 1 << 16))
+        self.fires += 1
+        if self.on_interrupt is not None:
+            self.on_interrupt()
+
+    def read(self, now):
+        return self._latched & 0xFFFF

@@ -1,0 +1,38 @@
+"""A synthetic temperature sensor.
+
+Models the habitat-monitoring workload the paper cites (Section 4.2): a
+slowly varying diurnal signal plus measurement noise, quantized by an
+ADC.  Deterministic for a given seed.
+"""
+
+import math
+
+import numpy as np
+
+from repro.sensors.adc import Adc
+from repro.sensors.sensor import Sensor
+
+
+class TemperatureSensor(Sensor):
+    """Sinusoidal diurnal temperature with Gaussian noise, ADC-quantized."""
+
+    def __init__(self, base_c=18.0, amplitude_c=8.0, period_s=86_400.0,
+                 noise_c=0.3, adc=None, seed=0):
+        self.base_c = base_c
+        self.amplitude_c = amplitude_c
+        self.period_s = period_s
+        self.noise_c = noise_c
+        #: Default ADC range covers -10C..50C on a 10-bit converter.
+        self.adc = adc or Adc(bits=10, low=-10.0, high=50.0)
+        self._rng = np.random.RandomState(seed)
+        self.reads = 0
+
+    def temperature_at(self, now):
+        """Noise-free temperature in Celsius at time *now*."""
+        phase = 2.0 * math.pi * (now % self.period_s) / self.period_s
+        return self.base_c + self.amplitude_c * math.sin(phase)
+
+    def read(self, now):
+        self.reads += 1
+        noisy = self.temperature_at(now) + self._rng.normal(0.0, self.noise_c)
+        return self.adc.convert(noisy)

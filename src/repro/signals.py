@@ -1,0 +1,10 @@
+"""Dependency-free control-flow signals shared across packages."""
+
+
+class WouldBlock(Exception):
+    """Internal signal: an r15 read found the FIFO empty (the core stalls).
+
+    Control flow inside the processor step, never an error surfaced to
+    users.  Lives in its own module so the core and coprocessor packages
+    can both raise/catch it without importing each other.
+    """

@@ -1,0 +1,44 @@
+"""``snap-cc``: compile C to SNAP assembly.
+
+Usage::
+
+    python -m repro.tools.snap_cc app.c -o app.s
+"""
+
+import argparse
+import sys
+
+from repro.cc import CompileError, compile_c
+from repro.cc.runtime import runtime_source
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="snap-cc",
+        description="Compile a C source file to SNAP assembly "
+                    "(unoptimized, like the paper's lcc port).")
+    parser.add_argument("source", help="C source file")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output assembly file (default: stdout)")
+    parser.add_argument("--with-runtime", action="store_true",
+                        help="append the mul/div runtime library")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.source) as handle:
+            assembly = compile_c(handle.read())
+    except (CompileError, OSError) as error:
+        print("snap-cc: %s" % error, file=sys.stderr)
+        return 1
+    if args.with_runtime:
+        assembly += "\n" + runtime_source()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(assembly)
+        print("snap-cc: wrote %s" % args.output)
+    else:
+        sys.stdout.write(assembly)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

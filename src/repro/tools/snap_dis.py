@@ -1,0 +1,38 @@
+"""``snap-dis``: disassemble a program image.
+
+Usage::
+
+    python -m repro.tools.snap_dis image.hex
+"""
+
+import argparse
+import sys
+
+from repro.isa import disassemble_words
+from repro.tools.hexfile import load_words
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="snap-dis", description="Disassemble a SNAP program image.")
+    parser.add_argument("image", help="hex image file")
+    parser.add_argument("--data", action="store_true",
+                        help="also dump the data section")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.image) as handle:
+            imem, dmem = load_words(handle.read())
+    except OSError as error:
+        print("snap-dis: %s" % error, file=sys.stderr)
+        return 1
+    for line in disassemble_words(imem):
+        print(line)
+    if args.data and dmem:
+        print("\n; data section")
+        for address, word in enumerate(dmem):
+            print("%04x:  .word 0x%04x" % (address, word))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""``snap-run``: execute a program on the simulated SNAP/LE core.
+
+Accepts either assembly sources (assembled on the fly) or a ``.hex``
+image.  Prints the run's statistics; optionally an instruction trace.
+
+Usage::
+
+    python -m repro.tools.snap_run program.s --voltage 0.6 --until 1e-3
+    python -m repro.tools.snap_run image.hex --trace --max-trace 50
+"""
+
+import argparse
+import sys
+
+from repro.asm import AsmError, LinkError, assemble, link
+from repro.core import CoreConfig, SimulationError, SnapProcessor
+from repro.core.trace import Tracer
+from repro.tools.hexfile import load_words
+
+
+def load_program_words(paths):
+    """Return (imem, dmem) from .hex or assembled .s inputs."""
+    if len(paths) == 1 and paths[0].endswith(".hex"):
+        with open(paths[0]) as handle:
+            return load_words(handle.read())
+    modules = []
+    for path in paths:
+        with open(path) as handle:
+            modules.append(assemble(handle.read(), name=path))
+    program = link(modules)
+    return program.imem, program.dmem
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="snap-run",
+        description="Run a SNAP program on the simulated SNAP/LE core.")
+    parser.add_argument("inputs", nargs="+",
+                        help="assembly sources or one .hex image")
+    parser.add_argument("--voltage", type=float, default=0.6,
+                        help="supply voltage (default 0.6)")
+    parser.add_argument("--until", type=float, default=None,
+                        help="simulated seconds to run (default: to sleep)")
+    parser.add_argument("--max-instructions", type=int, default=1_000_000)
+    parser.add_argument("--trace", action="store_true",
+                        help="print an instruction trace")
+    parser.add_argument("--max-trace", type=int, default=100,
+                        help="trace lines to keep (default 100)")
+    parser.add_argument("--dump-dmem", type=int, default=8, metavar="N",
+                        help="print the first N data words after the run")
+    args = parser.parse_args(argv)
+
+    try:
+        imem, dmem = load_program_words(args.inputs)
+    except (AsmError, LinkError, OSError) as error:
+        print("snap-run: %s" % error, file=sys.stderr)
+        return 1
+
+    tracer = Tracer(limit=args.max_trace) if args.trace else None
+    processor = SnapProcessor(config=CoreConfig(
+        voltage=args.voltage,
+        max_instructions=args.max_instructions,
+        trace_fn=tracer))
+    processor.imem.load_image(imem)
+    processor.dmem.load_image(dmem)
+
+    try:
+        meter = processor.run(until=args.until)
+    except SimulationError as error:
+        print("snap-run: %s" % error, file=sys.stderr)
+        return 1
+
+    if tracer is not None:
+        print(tracer.format())
+        print()
+    print("state        : %s" % processor.mode.value)
+    print("instructions : %d (%d cycles)" % (meter.instructions, meter.cycles))
+    print("sim time     : %.6f s (busy %.6f s, idle %.6f s)"
+          % (processor.kernel.now, meter.busy_time, meter.idle_time))
+    print("energy       : %.3f nJ (%.1f pJ/ins)"
+          % (meter.total_energy * 1e9, meter.energy_per_instruction * 1e12))
+    print("wakeups      : %d" % meter.wakeups)
+    if args.dump_dmem:
+        words = processor.dmem.dump(0, args.dump_dmem)
+        print("dmem[0:%d]   : %s"
+              % (args.dump_dmem, " ".join("%04x" % word for word in words)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""In-network aggregation tests: query flooding, depth-staggered windows,
+and correct MAX/SUM aggregation over multi-hop chains."""
+
+import pytest
+
+from repro.netstack.aggregation import (
+    AGG_DONE,
+    AGG_NEXT_OP,
+    AGG_OP_MAX,
+    AGG_OP_SUM,
+    AGG_REPLIES,
+    AGG_RESULT,
+    AGG_RESULT_COUNT,
+    AGG_VALUE,
+    build_aggregation_node,
+)
+from repro.network import NetworkSimulator
+
+
+def build_chain(values, comm_range=1.5):
+    """Nodes 1..N on a line with the given readings; node 1 is the sink."""
+    net = NetworkSimulator(comm_range=comm_range)
+    nodes = {}
+    for index, (node_id, value) in enumerate(values.items()):
+        nodes[node_id] = net.add_node(
+            node_id, program=build_aggregation_node(node_id),
+            position=(float(index), 0.0))
+    net.run(until=0.05)
+    for node_id, value in values.items():
+        nodes[node_id].processor.dmem.poke(AGG_VALUE, value)
+    return net, nodes
+
+
+def run_query(net, nodes, sink=1, op=AGG_OP_MAX, settle=0.5):
+    nodes[sink].processor.dmem.poke(AGG_NEXT_OP, op)
+    nodes[sink].processor.raise_soft_event()
+    net.run(until=net.kernel.now + settle)
+    dmem = nodes[sink].processor.dmem
+    return dmem.peek(AGG_RESULT), dmem.peek(AGG_RESULT_COUNT)
+
+
+class TestAggregation:
+    def test_max_over_three_hops(self):
+        values = {1: 100, 2: 500, 3: 250, 4: 900}
+        net, nodes = build_chain(values)
+        result, count = run_query(net, nodes, op=AGG_OP_MAX)
+        assert result == 900
+        assert count == 4
+        assert net.channel.collisions == 0
+
+    def test_max_when_sink_holds_it(self):
+        values = {1: 999, 2: 5, 3: 7, 4: 3}
+        net, nodes = build_chain(values)
+        result, count = run_query(net, nodes, op=AGG_OP_MAX)
+        assert result == 999
+        assert count == 4
+
+    def test_sum_for_average(self):
+        values = {1: 100, 2: 500, 3: 250, 4: 900}
+        net, nodes = build_chain(values)
+        result, count = run_query(net, nodes, op=AGG_OP_SUM)
+        assert result == sum(values.values())
+        assert count == 4
+        assert result // count == sum(values.values()) // 4
+
+    def test_consecutive_queries(self):
+        values = {1: 10, 2: 20, 3: 30, 4: 40}
+        net, nodes = build_chain(values)
+        result, count = run_query(net, nodes, op=AGG_OP_MAX)
+        assert (result, count) == (40, 4)
+        # Readings change between queries.
+        nodes[3].processor.dmem.poke(AGG_VALUE, 70)
+        result, count = run_query(net, nodes, op=AGG_OP_MAX)
+        assert (result, count) == (70, 4)
+        assert nodes[1].processor.dmem.peek(AGG_DONE) == 2
+
+    def test_relays_actually_aggregate(self):
+        """Intermediate nodes merge their children's replies -- the data
+        reduction happens *in the network*, not at the sink."""
+        values = {1: 1, 2: 2, 3: 3, 4: 4}
+        net, nodes = build_chain(values)
+        run_query(net, nodes, op=AGG_OP_SUM)
+        # Node 2 merged node 3's aggregate; node 3 merged node 4's.
+        assert nodes[2].processor.dmem.peek(AGG_REPLIES) == 1
+        assert nodes[3].processor.dmem.peek(AGG_REPLIES) == 1
+        # The sink received ONE reply covering three nodes, not three.
+        assert nodes[1].processor.dmem.peek(AGG_REPLIES) == 1
+
+    def test_single_hop_star(self):
+        """Full connectivity: every node answers the sink directly."""
+        values = {1: 5, 2: 10, 3: 15}
+        net, nodes = build_chain(values, comm_range=None)
+        result, count = run_query(net, nodes, op=AGG_OP_SUM)
+        assert result == 30
+        assert count == 3
+
+    def test_two_node_network(self):
+        values = {1: 3, 2: 11}
+        net, nodes = build_chain(values)
+        result, count = run_query(net, nodes, op=AGG_OP_MAX)
+        assert (result, count) == (11, 2)

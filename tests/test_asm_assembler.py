@@ -1,0 +1,203 @@
+"""Assembler tests: syntax, directives, pseudo-instructions, fixups."""
+
+import pytest
+
+from repro.asm import AsmError, assemble, build
+from repro.isa import Instruction, Opcode, decode_stream, encode
+
+
+def _opcodes(program):
+    return [ins.opcode for _, ins in decode_stream(program.imem)]
+
+
+class TestBasicSyntax:
+    def test_comments_and_blank_lines(self):
+        module = assemble("""
+            ; a comment
+            # another comment
+            nop  ; trailing
+            add r1, r2  # trailing hash
+        """)
+        assert len(module.text) == 2
+
+    def test_labels_on_own_line_and_inline(self):
+        program = build("""
+        start:
+            nop
+        inline: add r1, r2
+            jmp start
+        """)
+        assert program.symbols["start"] == 0
+        assert program.symbols["inline"] == 1
+
+    def test_multiple_labels_one_address(self):
+        program = build("a:\nb:\n  nop\n")
+        assert program.symbols["a"] == program.symbols["b"] == 0
+
+    def test_case_insensitive_mnemonics(self):
+        module = assemble("ADD r1, r2\nMovI r3, 4\n")
+        assert module.text[0] == encode(Instruction(Opcode.ADD, rd=1, rs=2))[0]
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError, match="3"):
+            assemble("nop\nnop\nbogus r1\n")
+
+
+class TestDirectives:
+    def test_equ(self):
+        program = build("""
+            .equ BASE, 0x100
+            .equ NEXT, BASE + 4
+            movi r1, NEXT
+            halt
+        """)
+        assert program.imem[1] == 0x104
+
+    def test_equ_must_be_constant(self):
+        with pytest.raises(AsmError, match="constant"):
+            assemble(".equ X, some_label\n")
+
+    def test_word_and_space(self):
+        module = assemble("""
+            .data
+            values: .word 1, 2, 0xFFFF
+            buffer: .space 4
+        """)
+        assert module.data == [1, 2, 0xFFFF, 0, 0, 0, 0]
+
+    def test_word_with_label_reference(self):
+        program = build("""
+            .data
+        table: .word handler
+            .text
+        handler:
+            nop
+        """)
+        assert program.dmem[0] == program.symbols["handler"]
+
+    def test_ascii(self):
+        module = assemble('.data\n.ascii "Hi"\n')
+        assert module.data == [ord("H"), ord("i")]
+
+    def test_org_pads(self):
+        module = assemble("nop\n.org 4\nnop\n")
+        assert len(module.text) == 5
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AsmError, match="backwards"):
+            assemble("nop\nnop\n.org 1\n")
+
+    def test_instructions_rejected_in_data(self):
+        with pytest.raises(AsmError, match="only allowed in .text"):
+            assemble(".data\nadd r1, r2\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError, match="unknown directive"):
+            assemble(".bogus 1\n")
+
+
+class TestOperands:
+    def test_memory_operand_forms(self):
+        program = build("ld r1, 4(r2)\nld r3, (r4)\nst r5, 0x10(sp)\nhalt\n")
+        entries = decode_stream(program.imem)
+        assert entries[0][1].imm == 4
+        assert entries[1][1].imm == 0
+        assert entries[2][1] == Instruction(Opcode.ST, rd=5, rs=13, imm=0x10)
+
+    def test_shift_amount(self):
+        program = build("sll r1, 15\nhalt\n")
+        assert decode_stream(program.imem)[0][1].rs == 15
+
+    def test_shift_amount_range(self):
+        with pytest.raises(AsmError):
+            assemble("sll r1, 16\n")
+
+    def test_negative_immediate_wraps(self):
+        program = build("movi r1, -1\nhalt\n")
+        assert program.imem[1] == 0xFFFF
+
+    def test_bfs_requires_constant_mask(self):
+        with pytest.raises(AsmError, match="constant"):
+            assemble("bfs r1, r2, somewhere\n")
+
+    def test_operand_count_errors(self):
+        with pytest.raises(AsmError):
+            assemble("add r1\n")
+        with pytest.raises(AsmError):
+            assemble("done r1\n")
+
+
+class TestBranches:
+    def test_backward_branch(self):
+        program = build("top:\n  nop\n  bnez r1, top\n  halt\n")
+        entry = decode_stream(program.imem)[1][1]
+        assert entry.imm == -2  # from word 2 back to word 0
+
+    def test_forward_branch(self):
+        program = build("  beqz r1, skip\n  nop\nskip:\n  halt\n")
+        assert decode_stream(program.imem)[0][1].imm == 1
+
+    def test_branch_out_of_range(self):
+        body = "\n".join(["nop"] * 40)
+        with pytest.raises(AsmError, match="out of range"):
+            assemble("  beqz r1, far\n%s\nfar:\n  halt\n" % body)
+
+    def test_branch_numeric_offset(self):
+        program = build("bnez r1, -1\nhalt\n")
+        assert decode_stream(program.imem)[0][1].imm == -1
+
+
+class TestPseudoInstructions:
+    def test_ret_is_jr_lr(self):
+        program = build("ret\n")
+        assert decode_stream(program.imem)[0][1] == Instruction(
+            Opcode.JR, rd=14, rs=0)
+
+    def test_li_is_movi(self):
+        program = build("li r1, 5\nhalt\n")
+        assert decode_stream(program.imem)[0][1].opcode == Opcode.MOVI
+
+    def test_push_pop_expansion(self):
+        program = build("push r1\npop r2\nhalt\n")
+        opcodes = _opcodes(program)
+        assert opcodes[:4] == [Opcode.SUBI, Opcode.ST, Opcode.LD, Opcode.ADDI]
+
+    def test_inc_dec(self):
+        program = build("inc r1\ndec r2\nhalt\n")
+        assert _opcodes(program)[:2] == [Opcode.ADDI, Opcode.SUBI]
+
+    def test_call(self):
+        program = build("call fn\nhalt\nfn: ret\n")
+        entries = decode_stream(program.imem)
+        assert entries[0][1].opcode == Opcode.JAL
+        assert entries[0][1].imm == program.symbols["fn"]
+
+
+class TestSymbols:
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble("x:\nnop\nx:\nnop\n")
+
+    def test_dot_labels_are_local(self):
+        module = assemble(".loop:\n  nop\n")
+        assert not module.symbols[".loop"].exported
+
+    def test_timer_program_from_paper_syntax(self):
+        """The schedhi/schedlo/cancel forms from Section 3.4 assemble."""
+        program = build("""
+            movi r1, 0
+            movi r2, 0x12
+            schedhi r1, r2
+            movi r2, 0x3456
+            schedlo r1, r2
+            cancel r1
+            done
+        """)
+        opcodes = _opcodes(program)
+        assert Opcode.SCHEDHI in opcodes
+        assert Opcode.SCHEDLO in opcodes
+        assert Opcode.CANCEL in opcodes

@@ -1,0 +1,112 @@
+"""Linker tests: multi-module layout, relocation, errors."""
+
+import pytest
+
+from repro.asm import LinkError, assemble, link
+from repro.asm.linker import DMEM_WORDS, IMEM_WORDS
+from repro.isa import Opcode, decode_stream
+
+
+class TestLayout:
+    def test_modules_concatenate_in_order(self):
+        first = assemble("nop\nnop\n", name="boot")
+        second = assemble("entry: halt\n", name="app")
+        program = link([first, second])
+        assert program.symbols["entry"] == 2
+        assert len(program.imem) == 3
+
+    def test_data_sections_concatenate(self):
+        first = assemble(".data\na: .word 1\n", name="m1")
+        second = assemble(".data\nb: .word 2\n", name="m2")
+        program = link([first, second])
+        assert program.dmem == [1, 2]
+        assert program.symbols["b"] == 1
+
+    def test_code_size_properties(self):
+        program = link([assemble("movi r1, 1\nhalt\n")])
+        assert program.text_size_words == 3
+        assert program.text_size_bytes == 6
+
+
+class TestRelocation:
+    def test_cross_module_jump(self):
+        caller = assemble("jmp target\n", name="caller")
+        callee = assemble("target: halt\n", name="callee")
+        program = link([caller, callee])
+        entries = decode_stream(program.imem)
+        assert entries[0][1].imm == program.symbols["target"]
+
+    def test_cross_module_branch(self):
+        caller = assemble("bnez r1, target\n", name="caller")
+        callee = assemble("target: halt\n", name="callee")
+        program = link([caller, callee])
+        assert decode_stream(program.imem)[0][1].imm == 0  # next word
+
+    def test_cross_module_branch_out_of_range(self):
+        caller = assemble("bnez r1, target\n", name="caller")
+        filler = assemble("\n".join(["nop"] * 40), name="filler")
+        callee = assemble("target: halt\n", name="callee")
+        with pytest.raises(LinkError, match="out of range"):
+            link([caller, filler, callee])
+
+    def test_data_symbol_used_as_address(self):
+        code = assemble("ld r1, counter(r0)\nhalt\n", name="code")
+        data = assemble(".data\npad: .word 0\ncounter: .word 42\n", name="data")
+        program = link([code, data])
+        assert decode_stream(program.imem)[0][1].imm == 1
+
+    def test_local_symbols_resolve_within_module(self):
+        module = assemble("jmp .here\n.here: halt\n", name="m")
+        program = link([module])
+        assert decode_stream(program.imem)[0][1].imm == 2
+
+    def test_local_symbols_do_not_leak(self):
+        uses = assemble("jmp .private\n", name="user")
+        defines = assemble(".private: halt\n", name="owner")
+        with pytest.raises(LinkError, match="undefined"):
+            link([uses, defines])
+
+    def test_addend(self):
+        code = assemble("movi r1, table + 2\nhalt\n", name="c")
+        data = assemble(".data\ntable: .word 0, 0, 7\n", name="d")
+        program = link([code, data])
+        assert program.imem[1] == 2
+
+
+class TestErrors:
+    def test_undefined_symbol(self):
+        with pytest.raises(LinkError, match="undefined symbol 'nowhere'"):
+            link([assemble("jmp nowhere\n")])
+
+    def test_duplicate_exported_symbols(self):
+        with pytest.raises(LinkError, match="duplicate"):
+            link([assemble("x: nop\n", name="a"),
+                  assemble("x: nop\n", name="b")])
+
+    def test_imem_overflow(self):
+        big = assemble(".space 1\n" * 0)  # placeholder module
+        big.text.extend([0] * (IMEM_WORDS + 1))
+        with pytest.raises(LinkError, match="exceeds IMEM"):
+            link([big])
+
+    def test_dmem_overflow(self):
+        module = assemble(".data\n.space %d\n" % (DMEM_WORDS + 1))
+        with pytest.raises(LinkError, match="exceeds DMEM"):
+            link([module])
+
+    def test_imem_capacity_is_4kb(self):
+        """Section 3.1: two on-chip 4KB banks."""
+        assert IMEM_WORDS * 2 == 4096
+        assert DMEM_WORDS * 2 == 4096
+
+
+class TestProgramApi:
+    def test_address_of(self):
+        program = link([assemble("main: halt\n")])
+        assert program.address_of("main") == 0
+        with pytest.raises(KeyError):
+            program.address_of("missing")
+
+    def test_qualified_local_symbols(self):
+        program = link([assemble(".loop: halt\n", name="mod")])
+        assert program.symbols["mod:.loop"] == 0

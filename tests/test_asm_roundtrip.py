@@ -1,0 +1,112 @@
+"""Property-based round trips across the tool-chain: random instruction
+streams survive encode -> disassemble -> reassemble -> encode, and the
+energy meter report renders for arbitrary runs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asm import assemble, build
+from repro.core import CoreConfig, SnapProcessor
+from repro.isa import Instruction, Opcode, disassemble_words, encode
+from repro.isa.instruction import BRANCH_OFFSET_MAX, BRANCH_OFFSET_MIN
+from repro.isa.opcodes import Format, all_specs
+
+registers = st.integers(0, 15)
+immediates = st.integers(0, 0xFFFF)
+offsets = st.integers(BRANCH_OFFSET_MIN, BRANCH_OFFSET_MAX)
+shamts = st.integers(0, 15)
+
+_SHIFT_IMMS = (Opcode.SLL, Opcode.SRL, Opcode.SRA)
+#: Opcodes whose rs field is architecturally unused (the assembler
+#: always emits rs=0 for them, so round-trip fuzzing must too).
+_NO_RS = (Opcode.RAND, Opcode.SEED, Opcode.CANCEL, Opcode.JR, Opcode.JALR,
+          Opcode.MOVI, Opcode.ADDI, Opcode.SUBI, Opcode.ANDI, Opcode.ORI,
+          Opcode.XORI)
+
+
+@st.composite
+def instructions(draw):
+    """Generate any valid instruction (in canonical rs-field form)."""
+    spec = draw(st.sampled_from(all_specs()))
+    fmt = spec.format
+    if fmt == Format.N:
+        return Instruction(spec.opcode)
+    if fmt == Format.R:
+        if spec.opcode in _SHIFT_IMMS:
+            rs = draw(shamts)
+        elif spec.opcode in _NO_RS:
+            rs = 0
+        else:
+            rs = draw(registers)
+        return Instruction(spec.opcode, rd=draw(registers), rs=rs)
+    if fmt == Format.B:
+        return Instruction(spec.opcode, rs=draw(registers),
+                           imm=draw(offsets))
+    if fmt == Format.RI:
+        rs = 0 if spec.opcode in _NO_RS else draw(registers)
+        return Instruction(spec.opcode, rd=draw(registers),
+                           rs=rs, imm=draw(immediates))
+    return Instruction(spec.opcode, imm=draw(immediates))
+
+
+class TestToolchainRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(instruction=instructions())
+    def test_single_instruction_full_round_trip(self, instruction):
+        """encode -> disassemble -> assemble -> identical words."""
+        words = encode(instruction)
+        text = instruction.text()
+        module = assemble(text)
+        assert module.text == words
+
+    @settings(max_examples=50, deadline=None)
+    @given(stream=st.lists(instructions(), min_size=1, max_size=40))
+    def test_stream_round_trip(self, stream):
+        words = [word for ins in stream for word in encode(ins)]
+        listing = disassemble_words(words)
+        # Strip the "addr:" prefixes and reassemble the whole listing.
+        source = "\n".join(line.split(":", 1)[1].strip()
+                           for line in listing)
+        module = assemble(source)
+        assert module.text == words
+
+    @settings(max_examples=30, deadline=None)
+    @given(stream=st.lists(instructions(), min_size=1, max_size=10))
+    def test_disassembly_never_crashes_on_valid_streams(self, stream):
+        words = [word for ins in stream for word in encode(ins)]
+        lines = disassemble_words(words)
+        assert len(lines) == len(stream)
+
+
+class TestMeterReport:
+    def test_report_renders_for_a_real_run(self):
+        source = """
+        boot:
+            movi r1, 0
+            movi r2, handler
+            setaddr r1, r2
+            movi r2, 100
+            schedlo r1, r2
+            done
+        handler:
+            ld r3, 0(r0)
+            addi r3, 1
+            st r3, 0(r0)
+            movi r1, 0
+            movi r2, 100
+            schedlo r1, r2
+            done
+        """
+        processor = SnapProcessor(config=CoreConfig(voltage=0.6))
+        processor.load(build(source))
+        meter = processor.run(until=0.00052)
+        text = meter.report()
+        assert "instructions :" in text
+        assert "pJ/instruction" in text
+        assert "handler TIMER0" in text
+        assert "wakeups" in text
+
+    def test_report_renders_when_empty(self):
+        from repro.energy import EnergyMeter
+        text = EnergyMeter().report()
+        assert "instructions : 0" in text

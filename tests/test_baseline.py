@@ -1,0 +1,318 @@
+"""Baseline (AVR-like core + TinyOS-style runtime) tests."""
+
+import pytest
+
+from repro.baseline import (
+    AtmelEnergyModel,
+    AvrAsmError,
+    AvrConfig,
+    AvrCore,
+    AvrFault,
+    assemble_avr,
+    build_avr_blink,
+    build_avr_radiostack,
+    build_avr_sense,
+)
+from repro.baseline.avr_core import (
+    IRQ_ADC,
+    IRQ_SPI,
+    IRQ_TIMER,
+    PORT_LEDS,
+    PORT_MARKER,
+)
+from repro.radio import crc16_update, secded_encode
+
+
+def run_simple(source, max_cycles=100000, **config):
+    program = assemble_avr(source)
+    core = AvrCore(program, AvrConfig(**config))
+    core.run(max_wall_cycles=max_cycles)
+    return core
+
+
+class TestAvrAssembler:
+    def test_labels_and_branches(self):
+        program = assemble_avr("""
+        start:
+            ldi r16, 3
+        loop:
+            dec r16
+            brne loop
+            sleep
+        """)
+        assert program.address_of("loop") == 1
+
+    def test_variables_get_addresses(self):
+        program = assemble_avr(".var a, 2\n.var b, 1\nnop\n")
+        assert program.variables["b"] == program.variables["a"] + 2
+
+    def test_equ(self):
+        program = assemble_avr(".equ K, 7\nldi r16, K\nsleep\n")
+        assert program.instructions[0].imm == 7
+
+    def test_undefined_label(self):
+        with pytest.raises(AvrAsmError, match="undefined"):
+            assemble_avr("rjmp nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AvrAsmError, match="duplicate"):
+            assemble_avr("a:\nnop\na:\nnop\n")
+
+    def test_size_words_counts_two_word_forms(self):
+        program = assemble_avr(".var v, 1\nlds r16, v\nnop\n")
+        assert program.size_words == 3
+
+
+class TestAvrCore:
+    def test_arithmetic_and_flags(self):
+        core = run_simple("""
+        .var out, 1
+            ldi r16, 200
+            ldi r17, 100
+            add r16, r17    ; 300 -> 44 with carry
+            sts out, r16
+            sleep
+        """)
+        assert core.variable("out") == 44
+        assert core.flag_c
+
+    def test_sixteen_bit_add_with_adc(self):
+        core = run_simple("""
+        .var lo, 1
+        .var hi, 1
+            ldi r16, 0xFF
+            ldi r17, 0x01
+            ldi r18, 0x02
+            ldi r19, 0x00
+            add r16, r18    ; 0x1FF + 0x002 = 0x201
+            adc r17, r19
+            sts lo, r16
+            sts hi, r17
+            sleep
+        """)
+        assert core.variable("lo") == 0x01
+        assert core.variable("hi") == 0x02
+
+    def test_loop_cycle_count(self):
+        """dec(1) + brne(2 taken / 1 final) for a counted loop."""
+        core = run_simple("""
+            ldi r16, 10
+        loop:
+            dec r16
+            brne loop
+            sleep
+        """)
+        # ldi 1 + 9*(1+2) + (1+1) + sleep 1 = 31
+        assert core.stats.cycles == 31
+
+    def test_x_pointer_post_increment(self):
+        core = run_simple("""
+        .var buf, 4
+            ldi r26, buf
+            ldi r27, 0
+            ldi r16, 5
+            st X+, r16
+            inc r16
+            st X, r16
+            sleep
+        """)
+        base = core.program.variables["buf"]
+        assert core.sram[base] == 5
+        assert core.sram[base + 1] == 6
+
+    def test_rcall_ret(self):
+        core = run_simple("""
+        .var out, 1
+            rcall fn
+            sts out, r16
+            sleep
+        fn:
+            ldi r16, 9
+            ret
+        """)
+        assert core.variable("out") == 9
+
+    def test_sleep_without_devices_halts(self):
+        core = run_simple("nop\nsleep\n")
+        assert core.halted
+
+    def test_runaway_detected(self):
+        with pytest.raises(AvrFault, match="budget"):
+            run_simple("loop:\nrjmp loop\n",
+                       max_cycles=None, max_instructions=1000)
+
+    def test_marker_splits_cycles(self):
+        core = run_simple("""
+            ldi r16, 1
+            out 0x07, r16   ; marker on
+            nop
+            nop
+            ldi r16, 0
+            out 0x07, r16   ; marker off
+            nop
+            sleep
+        """)
+        assert core.stats.useful_cycles == 4  # marker-on out + 2 nops + ldi
+        assert core.stats.cycles > core.stats.useful_cycles
+
+
+class TestInterrupts:
+    def test_timer_interrupt_fires_and_returns(self):
+        program = assemble_avr("""
+        .var ticks, 1
+            ldi r16, 0
+            sts ticks, r16
+            sei
+            ldi r16, 1
+            out 0x02, r16    ; enable timer
+        idle:
+            sleep
+            rjmp idle
+        timer_isr:
+            push r16
+            lds r16, ticks
+            inc r16
+            sts ticks, r16
+            pop r16
+            reti
+        """)
+        core = AvrCore(program, AvrConfig(timer_period_cycles=100),
+                       vectors={IRQ_TIMER: "timer_isr"})
+        core.run(max_wall_cycles=1050)
+        assert core.variable("ticks") == 10
+        assert core.stats.irqs == 10
+        assert core.stats.wakeups == 10
+
+    def test_interrupts_masked_until_sei(self):
+        program = assemble_avr("""
+        .var ticks, 1
+            ldi r16, 1
+            out 0x02, r16    ; timer on, but I-flag still clear
+            ldi r17, 200
+        spin:
+            dec r17
+            brne spin
+            sleep            ; no wake source that can interrupt
+        timer_isr:
+            reti
+        """)
+        core = AvrCore(program, AvrConfig(timer_period_cycles=50),
+                       vectors={IRQ_TIMER: "timer_isr"})
+        core.run(max_wall_cycles=5000)
+        assert core.stats.irqs == 0
+
+
+class TestBlinkApp:
+    def _run(self, iterations):
+        program = build_avr_blink(period_ticks=2)
+        core = AvrCore(program, AvrConfig(timer_period_cycles=2000),
+                       vectors={IRQ_TIMER: "timer_isr"})
+        core.run(max_wall_cycles=2000 * 2 * iterations + 5000)
+        return core
+
+    def test_blinks_happen(self):
+        core = self._run(10)
+        assert core.variable("blink_count") >= 10
+        values = [value for _, value in core.leds_history]
+        assert values[:4] == [1, 0, 1, 0]
+
+    def test_overhead_dominates_like_figure5(self):
+        """Figure 5: 16 useful vs 507 overhead cycles per blink."""
+        first = self._run(10)
+        second = self._run(20)
+        d_blinks = second.variable("blink_count") - first.variable("blink_count")
+        d_cycles = second.stats.cycles - first.stats.cycles
+        d_useful = second.stats.useful_cycles - first.stats.useful_cycles
+        per_iter = d_cycles / d_blinks
+        useful = d_useful / d_blinks
+        assert 350 <= per_iter <= 700      # paper: 523
+        assert 10 <= useful <= 25          # paper: 16
+        assert (per_iter - useful) / per_iter > 0.9
+
+    def test_blink_energy_near_paper(self):
+        """Figure 5: ~1960 nJ per blink on the mote."""
+        first = self._run(10)
+        second = self._run(20)
+        d_blinks = second.variable("blink_count") - first.variable("blink_count")
+        d_cycles = second.stats.cycles - first.stats.cycles
+        energy = AtmelEnergyModel().active_energy(d_cycles / d_blinks)
+        assert 1.2e-6 <= energy <= 2.7e-6
+
+
+class TestSenseApp:
+    def _run(self, iterations, sample=0x3FF):
+        program = build_avr_sense(period_ticks=2)
+        core = AvrCore(program, AvrConfig(timer_period_cycles=2000),
+                       vectors={IRQ_TIMER: "timer_isr", IRQ_ADC: "adc_isr"})
+        core.adc.sample_source = lambda: sample
+        core.run(max_wall_cycles=2000 * 2 * iterations + 8000)
+        return core
+
+    def test_iterations_and_display(self):
+        core = self._run(12)
+        assert core.variable("sense_iters") >= 12
+        assert core.leds_history  # something was displayed
+
+    def test_overhead_fraction_matches_paper_shape(self):
+        """Section 4.6: >70% of mote Sense cycles are overhead."""
+        first = self._run(10)
+        second = self._run(20)
+        d_iters = second.variable("sense_iters") - first.variable("sense_iters")
+        d_cycles = second.stats.cycles - first.stats.cycles
+        d_useful = second.stats.useful_cycles - first.stats.useful_cycles
+        per_iter = d_cycles / d_iters
+        assert 500 <= per_iter <= 1400     # paper: 1118
+        assert (per_iter - d_useful / d_iters) / per_iter > 0.7
+
+    def test_two_interrupts_per_iteration(self):
+        first = self._run(10)
+        second = self._run(20)
+        d_iters = second.variable("sense_iters") - first.variable("sense_iters")
+        d_irqs = second.stats.irqs - first.stats.irqs
+        # one timer IRQ per tick (2 ticks/iteration) + one ADC IRQ
+        assert d_irqs / d_iters == pytest.approx(3.0, abs=0.5)
+
+
+class TestRadioStackApp:
+    def _run(self, bytes_count):
+        program = build_avr_radiostack(period_ticks=1)
+        core = AvrCore(program, AvrConfig(timer_period_cycles=4000),
+                       vectors={IRQ_TIMER: "timer_isr", IRQ_SPI: "spi_isr"})
+        core.run(max_wall_cycles=4000 * bytes_count + 8000)
+        return core
+
+    def test_codewords_match_golden_secded(self):
+        core = self._run(6)
+        sent = core.spi.sent
+        words = [sent[i] | (sent[i + 1] << 8) for i in range(0, len(sent) - 1, 2)]
+        assert words[:5] == [secded_encode(b) for b in range(5)]
+
+    def test_crc_matches_golden(self):
+        core = self._run(6)
+        count = core.variable("bytes_sent")
+        crc = 0xFFFF
+        for byte in range(count):
+            crc = crc16_update(crc, byte)
+        assert core.variable("crc_lo") | (core.variable("crc_hi") << 8) == crc
+
+    def test_cycles_per_byte_near_paper(self):
+        """Section 4.6: ~780 mote cycles to send one byte."""
+        first = self._run(10)
+        second = self._run(20)
+        d_bytes = second.variable("bytes_sent") - first.variable("bytes_sent")
+        d_cycles = second.stats.cycles - first.stats.cycles
+        assert 500 <= d_cycles / d_bytes <= 1000
+
+
+class TestEnergyModel:
+    def test_published_constants(self):
+        model = AtmelEnergyModel()
+        assert model.energy_per_instruction == pytest.approx(1500e-12)
+        assert model.instruction_energy(1000) == pytest.approx(1.5e-6)
+
+    def test_sleep_energy_scales(self):
+        model = AtmelEnergyModel()
+        idle = model.sleep_energy(4_000_000)          # one second idle
+        deep = model.sleep_energy(4_000_000, deep=True)
+        assert idle == pytest.approx(3.6e-3)
+        assert deep < idle / 10

@@ -1,0 +1,130 @@
+"""Tests for the benchmark harness itself: workload generators, scenario
+runners, platform table, and reporting."""
+
+import pytest
+
+from repro.asm import build
+from repro.bench import format_table, platform_table
+from repro.bench.harness import (
+    blink_comparison,
+    energy_breakdown,
+    handler_table,
+    instruction_class_energy,
+    results_summary,
+    throughput_and_wakeup,
+)
+from repro.bench.platforms import LITERATURE_ROWS
+from repro.bench.reporting import ratio_note
+from repro.bench.workloads import (
+    FIGURE4_CLASSES,
+    class_program,
+    random_register_values,
+)
+from repro.core import CoreConfig, SnapProcessor
+from repro.isa.opcodes import InstrClass
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("instr_class", FIGURE4_CLASSES,
+                             ids=lambda c: c.value)
+    def test_class_programs_run_to_halt(self, instr_class):
+        source, expected = class_program(instr_class, seed=2,
+                                         instances=40, loops=2)
+        processor = SnapProcessor(config=CoreConfig(voltage=1.8))
+        processor.load(build(source))
+        for register, value in random_register_values(2).items():
+            processor.regs.poke(register, value)
+        meter = processor.run()
+        assert processor.halted
+        stats = meter.by_class[instr_class]
+        # The loop harness itself contributes a couple of branch
+        # instructions per iteration.
+        assert expected <= stats.count <= expected + 2 * 2 + 2
+
+    def test_programs_fit_imem(self):
+        for instr_class in FIGURE4_CLASSES:
+            source, _ = class_program(instr_class)
+            program = build(source)
+            assert program.text_size_words <= 2048
+
+    def test_deterministic_for_seed(self):
+        a, _ = class_program(InstrClass.ARITH_REG, seed=5)
+        b, _ = class_program(InstrClass.ARITH_REG, seed=5)
+        c, _ = class_program(InstrClass.ARITH_REG, seed=6)
+        assert a == b
+        assert a != c
+
+
+class TestScenarioRunners:
+    def test_handler_table_rows(self):
+        rows = handler_table(0.6)
+        assert [row.name for row in rows] == [
+            "Packet Transmission", "Packet Reception", "AODV Route Reply",
+            "AODV Forward", "Temperature App", "Threshold App"]
+        for row in rows:
+            assert row.instructions > 0
+            assert row.energy > 0
+            assert row.busy_time > 0
+
+    def test_handler_energy_scales_with_voltage(self):
+        low = handler_table(0.6)
+        high = handler_table(1.8)
+        for row_low, row_high in zip(low, high):
+            assert row_low.instructions == row_high.instructions
+            assert row_high.energy / row_low.energy == pytest.approx(
+                9.0, rel=0.02)
+
+    def test_instruction_class_energy_shape(self):
+        energies = instruction_class_energy(0.6)
+        assert set(energies) == {c.value for c in FIGURE4_CLASSES}
+        assert energies["Load"] > energies["Arith Reg"]
+
+    def test_throughput_result(self):
+        result = throughput_and_wakeup(0.9)
+        assert result.mips == pytest.approx(61, rel=0.15)
+        assert result.wakeup_latency_s == pytest.approx(9.8e-9, rel=0.01)
+
+    def test_energy_breakdown_fractions(self):
+        result = energy_breakdown(1.8)
+        assert sum(result["core_fractions"].values()) == pytest.approx(1.0)
+        assert 0.3 < result["memory_share"] < 0.7
+
+    def test_results_summary(self):
+        summary = results_summary(0.6)
+        assert summary.min_handler_energy < summary.max_handler_energy
+        assert summary.power_at_10hz_low == pytest.approx(
+            summary.min_handler_energy * 10)
+
+    def test_blink_comparison_shape(self):
+        result = blink_comparison(iterations=5)
+        assert result.avr_cycles > 10 * result.snap_cycles
+        assert result.avr_energy > 50 * result.snap_energy_18
+
+
+class TestPlatformTable:
+    def test_contains_paper_rows(self):
+        names = [row.name for row in platform_table()]
+        assert any("Atmel" in name for name in names)
+        assert any("Lutonium" in name for name in names)
+        assert sum("SNAP/LE" in name for name in names) == 2
+
+    def test_measured_rows_flagged(self):
+        table = platform_table(snap_measurements={0.6: (28e6, 24e-12)})
+        snap_rows = [row for row in table if "SNAP/LE" in row.name]
+        assert all(row.measured for row in snap_rows)
+
+    def test_literature_rows_immutable_count(self):
+        assert len(LITERATURE_ROWS) == 6
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long header"],
+                            [["x", "1"], ["longer", "2"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_ratio_note(self):
+        assert ratio_note(110, 100) == "1.10x of paper"
+        assert ratio_note(1, 0) == "n/a"

@@ -1,0 +1,308 @@
+"""C compiler tests: language features, code generation correctness
+(checked by running on the simulated SNAP core), and property-based
+expression evaluation against a Python oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cc import CompileError, build_c_node, compile_c
+from repro.core import CoreConfig, SnapProcessor
+
+MASK = 0xFFFF
+
+
+def run_c(source, until=None, **node_kwargs):
+    """Compile, link, run to sleep; returns (processor, program)."""
+    program = build_c_node(source, **node_kwargs)
+    processor = SnapProcessor(config=CoreConfig(voltage=1.8,
+                                                max_instructions=2_000_000))
+    processor.load(program)
+    processor.run(until=until)
+    return processor, program
+
+
+def result_of(source, name="result"):
+    processor, program = run_c(source)
+    return processor.dmem.peek(program.symbols["g_" + name])
+
+
+class TestBasics:
+    def test_global_initializers(self):
+        source = "int a = 5;\nint b;\nint t[3] = {1, 2};\nvoid init() {}\n"
+        processor, program = run_c(source)
+        assert processor.dmem.peek(program.symbols["g_a"]) == 5
+        assert processor.dmem.peek(program.symbols["g_b"]) == 0
+        base = program.symbols["g_t"]
+        assert [processor.dmem.peek(base + i) for i in range(3)] == [1, 2, 0]
+
+    def test_assignment_chains(self):
+        assert result_of("""
+            int result;
+            int other;
+            void init() { other = result = 7; result = result + other; }
+        """) == 14
+
+    def test_arithmetic(self):
+        assert result_of("""
+            int result;
+            void init() { result = (3 + 4) * 5 - 60 / 4 + 77 % 10; }
+        """) == (3 + 4) * 5 - 60 // 4 + 77 % 10
+
+    def test_wraparound_is_16_bit(self):
+        assert result_of("""
+            int result;
+            void init() { result = 65535 + 3; }
+        """) == 2
+
+    def test_unary_operators(self):
+        assert result_of("""
+            int result;
+            void init() { result = (-5 & 0xFFFF) + ~0 + !0 + !7; }
+        """) == (((-5) & MASK) + (~0 & MASK) + 1 + 0) & MASK
+
+    def test_comparisons_unsigned(self):
+        assert result_of("""
+            int result;
+            void init() {
+                result = (1 < 2) + (2 <= 2) * 10 + (3 > 4) * 100
+                       + (5 >= 5) * 1000 + (6 == 6) * 10000
+                       + (7 != 7) * 7;
+            }
+        """) == 1 + 10 + 0 + 1000 + 10000
+
+    def test_short_circuit_evaluation(self):
+        assert result_of("""
+            int result;
+            int touched;
+            int side(int v) { touched = touched + 1; return v; }
+            void init() {
+                touched = 0;
+                result = (0 && side(1)) + (1 || side(1)) * 10;
+                result = result + touched * 100;
+            }
+        """) == 10  # side() never ran
+
+    def test_shifts(self):
+        assert result_of("""
+            int result;
+            void init() { result = (1 << 10) + (0x8000 >> 15); }
+        """) == 1024 + 1
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        assert result_of("""
+            int result;
+            int classify(int x) {
+                if (x < 10) return 1;
+                else if (x < 100) return 2;
+                else return 3;
+            }
+            void init() { result = classify(5) + classify(50) * 10
+                                  + classify(500) * 100; }
+        """) == 1 + 20 + 300
+
+    def test_while_with_break_continue(self):
+        assert result_of("""
+            int result;
+            void init() {
+                int i; int total;
+                total = 0;
+                i = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > 10) break;
+                    if (i % 2) continue;
+                    total = total + i;   /* 2+4+6+8+10 */
+                }
+                result = total;
+            }
+        """) == 30
+
+    def test_for_loop(self):
+        assert result_of("""
+            int result;
+            void init() {
+                int i;
+                result = 0;
+                for (i = 1; i <= 10; i = i + 1) result = result + i;
+            }
+        """) == 55
+
+    def test_nested_loops(self):
+        assert result_of("""
+            int result;
+            void init() {
+                int i; int j;
+                result = 0;
+                for (i = 0; i < 5; i = i + 1)
+                    for (j = 0; j < 5; j = j + 1)
+                        result = result + i * j;
+            }
+        """) == sum(i * j for i in range(5) for j in range(5))
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert result_of("""
+            int result;
+            int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+            void init() { result = fib(12); }
+        """) == 144
+
+    def test_multiple_arguments(self):
+        assert result_of("""
+            int result;
+            int weigh(int a, int b, int c) { return a * 100 + b * 10 + c; }
+            void init() { result = weigh(1, 2, 3); }
+        """) == 123
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CompileError, match="argument count"):
+            run_c("int f(int a) { return a; }\nvoid init() { f(1, 2); }\n")
+
+
+class TestArraysAndPointers:
+    def test_global_array_read_write(self):
+        assert result_of("""
+            int result;
+            int data[8];
+            void init() {
+                int i;
+                for (i = 0; i < 8; i = i + 1) data[i] = i * 3;
+                result = data[7] + data[1];
+            }
+        """) == 21 + 3
+
+    def test_local_array(self):
+        assert result_of("""
+            int result;
+            void init() {
+                int buf[4];
+                buf[0] = 9; buf[3] = 1;
+                result = buf[0] * 10 + buf[3];
+            }
+        """) == 91
+
+    def test_pointers(self):
+        assert result_of("""
+            int result;
+            int cell;
+            void bump(int *p) { *p = *p + 1; }
+            void init() {
+                cell = 41;
+                bump(&cell);
+                result = cell;
+            }
+        """) == 42
+
+    def test_pointer_into_array(self):
+        assert result_of("""
+            int result;
+            int data[4] = {10, 20, 30, 40};
+            void init() {
+                int *p;
+                p = &data[1];
+                result = *p + p[1];    /* 20 + 30 */
+            }
+        """) == 50
+
+
+class TestIntrinsics:
+    def test_rand_and_seed_match_isa_lfsr(self):
+        processor, program = run_c("""
+            int result;
+            void init() { __seed(77); result = __rand(); }
+        """)
+        from repro.core import Lfsr16
+        lfsr = Lfsr16(seed=77)
+        assert processor.dmem.peek(program.symbols["g_result"]) == lfsr.next()
+
+    def test_bfs_intrinsic(self):
+        assert result_of("""
+            int result;
+            void init() { result = __bfs(0xAAAA, 0x5555, 0x00FF); }
+        """) == (0xAAAA & ~0x00FF) | (0x5555 & 0x00FF)
+
+    def test_bfs_requires_constant_mask(self):
+        with pytest.raises(CompileError, match="constant"):
+            run_c("int m;\nvoid init() { __bfs(1, 2, m); }\n")
+
+    def test_c_timer_handler_runs_event_driven(self):
+        """A complete event-driven C app: periodic timer handler."""
+        source = """
+            int ticks;
+            void arm() { __schedlo(0, 100); }
+            void init() { ticks = 0; arm(); }
+            __handler void on_timer() {
+                ticks = ticks + 1;
+                arm();
+            }
+        """
+        from repro.isa.events import Event
+        processor, program = run_c(source,
+                                   handlers={Event.TIMER0: "on_timer"},
+                                   until=0.00105)
+        assert processor.dmem.peek(program.symbols["g_ticks"]) == 10
+        assert processor.asleep
+
+    def test_handler_must_be_declared(self):
+        from repro.isa.events import Event
+        with pytest.raises(ValueError, match="__handler"):
+            build_c_node("void f() {}\n", handlers={Event.TIMER0: "f"})
+
+
+class TestDiagnostics:
+    def test_undefined_identifier(self):
+        with pytest.raises(CompileError, match="undefined"):
+            compile_c("void init() { x = 1; }\n")
+
+    def test_syntax_error_has_line(self):
+        with pytest.raises(CompileError, match="line 2"):
+            compile_c("int a;\nint b = ;\n")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break"):
+            compile_c("void f() { break; }\n")
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(CompileError, match="assignment"):
+            compile_c("void f() { 1 = 2; }\n")
+
+
+class TestExpressionProperties:
+    """Property-based check: random expressions evaluated by the compiled
+    code on the simulator agree with Python's evaluation mod 2^16."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, MASK), b=st.integers(1, MASK),
+           c=st.integers(0, 15))
+    def test_random_arithmetic(self, a, b, c):
+        expression = ("(%d + %d) * 3 - (%d / %d) + (%d %% %d) "
+                      "+ (%d << %d) + (%d > %d)"
+                      % (a, b, a, b, a, b, b, c, a, b))
+        expected = (((a + b) * 3 - (a // b) + (a % b)
+                     + (b << c) + (1 if a > b else 0)) & MASK)
+        got = result_of("int result;\nvoid init() { result = %s; }\n"
+                        % expression)
+        assert got == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=st.lists(st.integers(0, MASK), min_size=1, max_size=8))
+    def test_array_sum(self, values):
+        body = "".join("data[%d] = %d; " % (i, v)
+                       for i, v in enumerate(values))
+        source = """
+            int result;
+            int data[8];
+            void init() {
+                int i;
+                %s
+                result = 0;
+                for (i = 0; i < %d; i = i + 1) result = result + data[i];
+            }
+        """ % (body, len(values))
+        assert result_of(source) == sum(values) & MASK

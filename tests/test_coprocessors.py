@@ -1,0 +1,211 @@
+"""Timer and message coprocessor tests."""
+
+import pytest
+
+from repro.coprocessors import (
+    CMD_QUERY,
+    CMD_RX,
+    CMD_TX,
+    Fifo,
+    MessageCoprocessor,
+    TimerCoprocessor,
+    make_command,
+)
+from repro.core import EventQueue, Kernel
+from repro.core.exceptions import WouldBlock
+from repro.isa.events import Event
+from repro.radio import Radio
+from repro.sensors import ConstantSensor, LedPort
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(capacity=8)
+
+
+class TestFifo:
+    def test_order(self):
+        fifo = Fifo(capacity=4)
+        for value in (1, 2, 3):
+            fifo.push(value)
+        assert [fifo.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_overflow_and_underflow(self):
+        fifo = Fifo(capacity=1)
+        fifo.push(1)
+        with pytest.raises(OverflowError):
+            fifo.push(2)
+        fifo.pop()
+        with pytest.raises(IndexError):
+            fifo.pop()
+
+    def test_occupancy_stats(self):
+        fifo = Fifo(capacity=4)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        assert fifo.max_occupancy == 2
+
+    def test_masks_to_16_bits(self):
+        fifo = Fifo()
+        fifo.push(0x12345)
+        assert fifo.pop() == 0x2345
+
+
+class TestTimerCoprocessor:
+    def test_schedlo_starts_countdown(self, kernel, queue):
+        timer = TimerCoprocessor(kernel, queue, tick_hz=1_000_000)
+        timer.schedlo(0, 100)
+        assert timer.is_running(0)
+        kernel.run()
+        assert kernel.now == pytest.approx(100e-6)
+        assert queue.pop().event == Event.TIMER0
+
+    def test_schedhi_extends_range_to_24_bits(self, kernel, queue):
+        """Section 3.2/3.4: schedhi sets the top 8 of 24 bits."""
+        timer = TimerCoprocessor(kernel, queue, tick_hz=1_000_000)
+        timer.schedhi(1, 0x01)          # 0x010000 ticks = 65536 us
+        timer.schedlo(1, 0x0000)
+        kernel.run()
+        assert kernel.now == pytest.approx(0x010000 / 1e6)
+        assert queue.pop().event == Event.TIMER1
+
+    def test_three_independent_timers(self, kernel, queue):
+        timer = TimerCoprocessor(kernel, queue, tick_hz=1_000_000)
+        timer.schedlo(0, 300)
+        timer.schedlo(1, 100)
+        timer.schedlo(2, 200)
+        kernel.run()
+        order = [queue.pop().event for _ in range(3)]
+        assert order == [Event.TIMER1, Event.TIMER2, Event.TIMER0]
+
+    def test_cancel_running_inserts_token(self, kernel, queue):
+        """The cancel-race design: a cancelled timer still produces a
+        token (Section 3.2)."""
+        timer = TimerCoprocessor(kernel, queue, tick_hz=1_000_000)
+        timer.schedlo(0, 1000)
+        timer.cancel(0)
+        assert not timer.is_running(0)
+        assert queue.pop().event == Event.TIMER0
+        kernel.run()
+        assert queue.pop() is None  # and no second token at expiry time
+
+    def test_cancel_idle_timer_is_noop(self, kernel, queue):
+        timer = TimerCoprocessor(kernel, queue, tick_hz=1_000_000)
+        timer.cancel(2)
+        assert queue.pop() is None
+
+    def test_exactly_one_token_per_schedule(self, kernel, queue):
+        """Software sees one token whether it cancels or the timer
+        expires -- never zero, never two."""
+        timer = TimerCoprocessor(kernel, queue, tick_hz=1_000_000)
+        timer.schedlo(0, 10)
+        kernel.run()                  # expires
+        timer.cancel(0)               # too late: no extra token
+        assert len(queue) == 1
+
+    def test_reschedule_restarts(self, kernel, queue):
+        timer = TimerCoprocessor(kernel, queue, tick_hz=1_000_000)
+        timer.schedlo(0, 1000)
+        timer.schedlo(0, 10)
+        kernel.run()
+        assert kernel.now == pytest.approx(10e-6)
+        assert len(queue) == 1
+
+    def test_remaining(self, kernel, queue):
+        timer = TimerCoprocessor(kernel, queue, tick_hz=1_000_000)
+        timer.schedlo(0, 100)
+        assert timer.remaining(0) == pytest.approx(100e-6)
+        assert timer.remaining(1) is None
+
+    def test_bad_index(self, kernel, queue):
+        timer = TimerCoprocessor(kernel, queue)
+        with pytest.raises(ValueError):
+            timer.schedlo(3, 10)
+
+
+class TestMessageCoprocessor:
+    def test_pop_empty_would_block(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        with pytest.raises(WouldBlock):
+            mcp.pop_to_core()
+
+    def test_query_delivers_value_and_event(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        mcp.attach_sensor(2, ConstantSensor(0x0123))
+        mcp.push_from_core(make_command(CMD_QUERY, 2))
+        assert mcp.pop_to_core() == 0x0123
+        assert queue.pop().event == Event.QUERY_DONE
+
+    def test_query_unattached_sensor(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        with pytest.raises(ValueError, match="unattached sensor"):
+            mcp.push_from_core(make_command(CMD_QUERY, 9))
+
+    def test_led_port_write(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        led = LedPort()
+        mcp.attach_port(0, led)
+        mcp.push_from_core(make_command(4, 0x005))
+        assert led.value == 5
+
+    def test_tx_command_then_data(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        radio = Radio(kernel)
+        mcp.attach_radio(radio)
+        mcp.push_from_core(make_command(CMD_TX))
+        mcp.push_from_core(0xBEEF)
+        assert radio.tx_pending == 1
+        kernel.run()
+        assert radio.words_sent == 1
+        assert queue.pop().event == Event.RADIO_TX_DONE
+
+    def test_rx_word_raises_event(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        radio = Radio(kernel)
+        mcp.attach_radio(radio)
+        mcp.push_from_core(make_command(CMD_RX))
+        radio.deliver(0x7777)
+        assert mcp.pop_to_core() == 0x7777
+        assert queue.pop().event == Event.RADIO_RX
+
+    def test_rx_requires_radio(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        with pytest.raises(ValueError, match="no radio"):
+            mcp.push_from_core(make_command(CMD_RX))
+
+    def test_sensor_interrupt_event(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        mcp.sensor_interrupt()
+        assert queue.pop().event == Event.SENSOR_IRQ
+
+    def test_outgoing_observer_fires(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        calls = []
+        mcp.on_outgoing_data.append(lambda: calls.append(1))
+        mcp._deliver(1)
+        assert calls == [1]
+
+    def test_unknown_command_rejected(self, kernel, queue):
+        mcp = MessageCoprocessor(kernel, queue)
+        with pytest.raises(ValueError, match="unknown"):
+            mcp.push_from_core(make_command(0xF))
+
+
+class TestCommands:
+    def test_make_and_split(self):
+        word = make_command(CMD_QUERY, 0x123)
+        from repro.coprocessors import command_kind, command_payload
+        assert command_kind(word) == CMD_QUERY
+        assert command_payload(word) == 0x123
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            make_command(16)
+        with pytest.raises(ValueError):
+            make_command(1, 0x1000)

@@ -1,0 +1,199 @@
+"""Kernel, memory, event queue, LFSR, and register-file tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    EventQueue,
+    EventQueueOverflow,
+    Kernel,
+    Lfsr16,
+    MemoryBank,
+    MemoryFault,
+    RegisterFile,
+)
+from repro.core.event_queue import POLICY_FAULT
+from repro.isa.events import Event
+
+
+class TestKernel:
+    def test_events_run_in_time_order(self):
+        kernel = Kernel()
+        order = []
+        kernel.schedule(2.0, order.append, "b")
+        kernel.schedule(1.0, order.append, "a")
+        kernel.schedule(3.0, order.append, "c")
+        kernel.run()
+        assert order == ["a", "b", "c"]
+        assert kernel.now == 3.0
+
+    def test_equal_times_run_in_schedule_order(self):
+        kernel = Kernel()
+        order = []
+        for tag in range(5):
+            kernel.schedule(1.0, order.append, tag)
+        kernel.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_until_limits_time(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, 1)
+        kernel.schedule(5.0, fired.append, 2)
+        kernel.run(until=2.0)
+        assert fired == [1]
+        assert kernel.now == 2.0
+        kernel.run()
+        assert fired == [1, 2]
+
+    def test_cancel(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.schedule(1.0, fired.append, "x")
+        kernel.cancel(handle)
+        kernel.run()
+        assert fired == []
+        assert kernel.pending == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel().schedule(-1.0, lambda: None)
+
+    def test_schedule_during_run(self):
+        kernel = Kernel()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                kernel.schedule(1.0, chain, n + 1)
+
+        kernel.schedule(0.0, chain, 0)
+        kernel.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_max_events(self):
+        kernel = Kernel()
+        for _ in range(10):
+            kernel.schedule(1.0, lambda: None)
+        assert kernel.run(max_events=4) == 4
+
+
+class TestMemoryBank:
+    def test_read_write(self):
+        bank = MemoryBank(16)
+        bank.write(3, 0x1234)
+        assert bank.read(3) == 0x1234
+        assert (bank.reads, bank.writes) == (1, 1)
+
+    def test_values_masked_to_16_bits(self):
+        bank = MemoryBank(4)
+        bank.write(0, 0x1FFFF)
+        assert bank.read(0) == 0xFFFF
+
+    @pytest.mark.parametrize("address", [-1, 16, 1000])
+    def test_out_of_range_faults(self, address):
+        bank = MemoryBank(16)
+        with pytest.raises(MemoryFault):
+            bank.read(address)
+        with pytest.raises(MemoryFault):
+            bank.write(address, 0)
+
+    def test_load_image(self):
+        bank = MemoryBank(8)
+        bank.load_image([1, 2, 3], base=2)
+        assert bank.dump(2, 3) == [1, 2, 3]
+
+    def test_load_image_overflow(self):
+        with pytest.raises(MemoryFault):
+            MemoryBank(4).load_image([0] * 5)
+
+    def test_peek_poke_skip_counters(self):
+        bank = MemoryBank(4)
+        bank.poke(0, 9)
+        assert bank.peek(0) == 9
+        assert (bank.reads, bank.writes) == (0, 0)
+
+
+class TestEventQueue:
+    def test_fifo_order(self):
+        queue = EventQueue(capacity=4)
+        queue.insert(Event.TIMER1)
+        queue.insert(Event.RADIO_RX)
+        assert queue.pop().event == Event.TIMER1
+        assert queue.pop().event == Event.RADIO_RX
+        assert queue.pop() is None
+
+    def test_drop_policy_counts(self):
+        queue = EventQueue(capacity=2)
+        assert queue.insert(Event.TIMER0)
+        assert queue.insert(Event.TIMER1)
+        assert not queue.insert(Event.TIMER2)
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+    def test_fault_policy(self):
+        queue = EventQueue(capacity=1, policy=POLICY_FAULT)
+        queue.insert(Event.TIMER0)
+        with pytest.raises(EventQueueOverflow):
+            queue.insert(Event.TIMER1)
+
+    def test_observer_called_on_insert_only(self):
+        queue = EventQueue(capacity=1)
+        seen = []
+        queue.on_insert.append(lambda token: seen.append(token.event))
+        queue.insert(Event.SOFT)
+        queue.insert(Event.SOFT)  # dropped
+        assert seen == [Event.SOFT]
+
+    def test_raised_at_recorded(self):
+        queue = EventQueue()
+        queue.insert(Event.TIMER0, raised_at=1.5)
+        assert queue.peek().raised_at == 1.5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventQueue(capacity=0)
+
+
+class TestLfsr:
+    def test_full_period(self):
+        """Maximal-length 16-bit LFSR: period 2**16 - 1."""
+        lfsr = Lfsr16(seed=1)
+        seen = set()
+        state = lfsr.state
+        for _ in range(2 ** 16 - 1):
+            state = lfsr.next()
+            assert state not in seen
+            seen.add(state)
+        assert lfsr.state == 1  # back to the seed
+        assert 0 not in seen
+
+    def test_zero_seed_mapped_to_default(self):
+        lfsr = Lfsr16(seed=0)
+        assert lfsr.state != 0
+        lfsr.next()
+        assert lfsr.state != 0
+
+    @given(seed=st.integers(1, 0xFFFF))
+    def test_deterministic_for_seed(self, seed):
+        a, b = Lfsr16(seed), Lfsr16(seed)
+        assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+
+class TestRegisterFile:
+    def test_fifteen_physical_registers(self):
+        regs = RegisterFile()
+        assert len(regs.snapshot()) == 15
+
+    def test_r15_access_is_a_bug(self):
+        regs = RegisterFile()
+        with pytest.raises(AssertionError):
+            regs.read(15)
+        with pytest.raises(AssertionError):
+            regs.write(15, 0)
+
+    def test_masking(self):
+        regs = RegisterFile()
+        regs.write(0, -1)
+        assert regs.read(0) == 0xFFFF

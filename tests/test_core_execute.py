@@ -1,0 +1,225 @@
+"""Instruction-semantics tests, including property-based ALU checks
+against a Python two's-complement oracle."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import build
+from repro.core import CoreConfig, SnapProcessor
+
+words16 = st.integers(0, 0xFFFF)
+
+
+def run_program(source, regs=None, dmem=None, voltage=1.8):
+    """Assemble, preload registers/memory, run to halt, return processor."""
+    proc = SnapProcessor(config=CoreConfig(voltage=voltage,
+                                           max_instructions=100000))
+    proc.load(build(source))
+    for index, value in (regs or {}).items():
+        proc.regs.poke(index, value)
+    for address, value in (dmem or {}).items():
+        proc.dmem.poke(address, value)
+    proc.run()
+    assert proc.halted
+    return proc
+
+
+class TestArithmetic:
+    @given(a=words16, b=words16)
+    def test_add_matches_oracle(self, a, b):
+        proc = run_program("add r1, r2\nhalt\n", regs={1: a, 2: b})
+        assert proc.regs.peek(1) == (a + b) & 0xFFFF
+        assert proc.carry == ((a + b) >> 16)
+
+    @given(a=words16, b=words16)
+    def test_sub_matches_oracle(self, a, b):
+        proc = run_program("sub r1, r2\nhalt\n", regs={1: a, 2: b})
+        assert proc.regs.peek(1) == (a - b) & 0xFFFF
+        assert proc.carry == (1 if a < b else 0)
+
+    @given(a=words16, b=words16, c=words16, d=words16)
+    def test_32bit_add_with_carry_chain(self, a, b, c, d):
+        """add/addc implement >16-bit arithmetic (Section 3.4)."""
+        proc = run_program("add r1, r3\naddc r2, r4\nhalt\n",
+                           regs={1: a, 2: b, 3: c, 4: d})
+        full = ((b << 16) | a) + ((d << 16) | c)
+        assert proc.regs.peek(1) == full & 0xFFFF
+        assert proc.regs.peek(2) == (full >> 16) & 0xFFFF
+
+    @given(a=words16, b=words16, c=words16, d=words16)
+    def test_32bit_sub_with_borrow_chain(self, a, b, c, d):
+        proc = run_program("sub r1, r3\nsubc r2, r4\nhalt\n",
+                           regs={1: a, 2: b, 3: c, 4: d})
+        full = (((b << 16) | a) - ((d << 16) | c)) & 0xFFFFFFFF
+        assert proc.regs.peek(1) == full & 0xFFFF
+        assert proc.regs.peek(2) == (full >> 16) & 0xFFFF
+
+    @given(a=words16, imm=words16)
+    def test_addi_subi(self, a, imm):
+        proc = run_program("addi r1, %d\nsubi r2, %d\nhalt\n" % (imm, imm),
+                           regs={1: a, 2: a})
+        assert proc.regs.peek(1) == (a + imm) & 0xFFFF
+        assert proc.regs.peek(2) == (a - imm) & 0xFFFF
+
+
+class TestLogic:
+    @given(a=words16, b=words16)
+    def test_logical_ops(self, a, b):
+        proc = run_program(
+            "and r1, r5\nor r2, r5\nxor r3, r5\nnot r4, r5\nhalt\n",
+            regs={1: a, 2: a, 3: a, 4: 0, 5: b})
+        assert proc.regs.peek(1) == a & b
+        assert proc.regs.peek(2) == a | b
+        assert proc.regs.peek(3) == a ^ b
+        assert proc.regs.peek(4) == (~b) & 0xFFFF
+
+    @given(a=words16, imm=words16)
+    def test_logical_imm(self, a, imm):
+        proc = run_program(
+            "andi r1, %d\nori r2, %d\nxori r3, %d\nhalt\n" % (imm, imm, imm),
+            regs={1: a, 2: a, 3: a})
+        assert proc.regs.peek(1) == a & imm
+        assert proc.regs.peek(2) == a | imm
+        assert proc.regs.peek(3) == a ^ imm
+
+    @given(value=words16, mask=words16, src=words16)
+    def test_bfs_semantics(self, value, mask, src):
+        """bfs sets the masked field of dst from src (Section 3.4)."""
+        proc = run_program("bfs r1, r2, %d\nhalt\n" % mask,
+                           regs={1: value, 2: src})
+        assert proc.regs.peek(1) == (value & ~mask) | (src & mask)
+
+
+class TestShifts:
+    @given(value=words16, amount=st.integers(0, 15))
+    def test_shift_immediate(self, value, amount):
+        proc = run_program(
+            "sll r1, %d\nsrl r2, %d\nsra r3, %d\nhalt\n"
+            % (amount, amount, amount),
+            regs={1: value, 2: value, 3: value})
+        signed = value - 0x10000 if value & 0x8000 else value
+        assert proc.regs.peek(1) == (value << amount) & 0xFFFF
+        assert proc.regs.peek(2) == value >> amount
+        assert proc.regs.peek(3) == (signed >> amount) & 0xFFFF
+
+    @given(value=words16, amount=st.integers(0, 15))
+    def test_shift_variable(self, value, amount):
+        proc = run_program("sllv r1, r4\nsrlv r2, r4\nhalt\n",
+                           regs={1: value, 2: value, 4: amount})
+        assert proc.regs.peek(1) == (value << amount) & 0xFFFF
+        assert proc.regs.peek(2) == value >> amount
+
+
+class TestMemory:
+    @given(value=words16, base=st.integers(0, 100), offset=st.integers(0, 100))
+    def test_store_load_round_trip(self, value, base, offset):
+        proc = run_program("st r1, %d(r2)\nld r3, %d(r2)\nhalt\n"
+                           % (offset, offset),
+                           regs={1: value, 2: base})
+        assert proc.regs.peek(3) == value
+        assert proc.dmem.peek(base + offset) == value
+
+    def test_imem_self_modification(self):
+        """The core can write its own IMEM (Section 3.1) -- used for
+        over-the-radio reprogramming."""
+        proc = run_program("""
+            movi r1, 0x0000      ; nop encoding
+            sti r1, target(r0)
+            movi r2, 1
+        target:
+            halt                  ; overwritten with nop before reaching it
+            movi r2, 2
+            halt
+        """)
+        assert proc.regs.peek(2) == 2
+
+    def test_imem_load_reads_code(self):
+        proc = run_program("ldi r1, 0(r0)\nhalt\n")
+        assert proc.regs.peek(1) == proc.imem.peek(0)
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        proc = run_program("""
+            movi r1, 0
+            beqz r1, .yes
+            movi r2, 99
+        .yes:
+            movi r3, 1
+            bnez r1, .no
+            movi r4, 2
+        .no:
+            halt
+        """)
+        assert proc.regs.peek(2) == 0
+        assert proc.regs.peek(3) == 1
+        assert proc.regs.peek(4) == 2
+
+    @given(value=words16)
+    def test_sign_branches(self, value):
+        proc = run_program("""
+            bltz r1, .neg
+            movi r2, 1
+            jmp .end
+        .neg:
+            movi r2, 2
+        .end:
+            halt
+        """, regs={1: value})
+        expected = 2 if value & 0x8000 else 1
+        assert proc.regs.peek(2) == expected
+
+    def test_jal_and_ret(self):
+        proc = run_program("""
+            movi sp, 0x700
+            jal fn
+            movi r2, 5
+            halt
+        fn:
+            movi r1, 7
+            ret
+        """)
+        assert proc.regs.peek(1) == 7
+        assert proc.regs.peek(2) == 5
+
+    def test_jalr(self):
+        proc = run_program("""
+            movi r1, fn
+            jalr r1
+            halt
+        fn:
+            movi r2, 9
+            jr lr
+        """)
+        assert proc.regs.peek(2) == 9
+        assert proc.halted
+
+    def test_nested_calls_with_stack(self):
+        proc = run_program("""
+            movi sp, 0x400
+            jal outer
+            halt
+        outer:
+            push lr
+            jal inner
+            pop lr
+            addi r1, 1
+            ret
+        inner:
+            movi r1, 10
+            ret
+        """)
+        assert proc.regs.peek(1) == 11
+
+
+class TestRandSeed:
+    def test_rand_is_deterministic_after_seed(self):
+        proc_a = run_program("movi r1, 77\nseed r1\nrand r2\nrand r3\nhalt\n")
+        proc_b = run_program("movi r1, 77\nseed r1\nrand r2\nrand r3\nhalt\n")
+        assert proc_a.regs.peek(2) == proc_b.regs.peek(2)
+        assert proc_a.regs.peek(3) == proc_b.regs.peek(3)
+        assert proc_a.regs.peek(2) != proc_a.regs.peek(3)
+
+    def test_rand_nonzero(self):
+        proc = run_program("rand r1\nhalt\n")
+        assert proc.regs.peek(1) != 0

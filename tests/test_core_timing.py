@@ -1,0 +1,84 @@
+"""Timing-model tests against the paper's published numbers."""
+
+import pytest
+
+from repro.core.timing import (
+    GATE_DELAY_BY_VOLTAGE,
+    TimingModel,
+    WAKEUP_GATE_DELAYS,
+    gate_delay_at,
+    gate_delays_for,
+)
+from repro.isa.opcodes import Opcode, spec_for
+
+
+class TestWakeupLatency:
+    """Section 4.3: 18 gate delays; 2.5 / 9.8 / 21.4 ns at 1.8/0.9/0.6 V."""
+
+    def test_eighteen_gate_delays(self):
+        assert WAKEUP_GATE_DELAYS == 18
+
+    @pytest.mark.parametrize("voltage,expected_ns", [
+        (1.8, 2.5), (0.9, 9.8), (0.6, 21.4)])
+    def test_published_wakeup_latencies(self, voltage, expected_ns):
+        model = TimingModel(voltage)
+        assert model.wakeup_latency * 1e9 == pytest.approx(expected_ns, rel=1e-9)
+
+
+class TestVoltageScaling:
+    def test_throughput_ratios_match_paper(self):
+        """240/61 = 3.93 and 240/28 = 8.57 are the same ratios as the
+        wakeup latencies, so one gate-delay scale reproduces both."""
+        ratio_09 = gate_delay_at(0.9) / gate_delay_at(1.8)
+        ratio_06 = gate_delay_at(0.6) / gate_delay_at(1.8)
+        assert ratio_09 == pytest.approx(240 / 61, rel=0.01)
+        assert ratio_06 == pytest.approx(240 / 28, rel=0.01)
+
+    def test_interpolation_is_monotonic(self):
+        voltages = [0.45, 0.6, 0.75, 0.9, 1.2, 1.5, 1.8]
+        delays = [gate_delay_at(v) for v in voltages]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_interpolation_exact_at_published_points(self):
+        for voltage, delay in GATE_DELAY_BY_VOLTAGE.items():
+            assert gate_delay_at(voltage) == delay
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            gate_delay_at(0.2)
+        with pytest.raises(ValueError):
+            gate_delay_at(3.0)
+
+
+class TestInstructionDelays:
+    def test_two_word_instructions_slower(self):
+        model = TimingModel(1.8)
+        assert (model.delay_for_opcode(Opcode.ADDI)
+                > model.delay_for_opcode(Opcode.ADD))
+
+    def test_memory_ops_slowest_fast_bus_class(self):
+        assert (gate_delays_for(spec_for(Opcode.LD))
+                > gate_delays_for(spec_for(Opcode.ADDI))
+                > gate_delays_for(spec_for(Opcode.ADD)))
+
+    def test_slow_bus_units_pay_extra(self):
+        """IMEM load/store ride the slow busses (Section 3.1)."""
+        assert (gate_delays_for(spec_for(Opcode.LDI))
+                > gate_delays_for(spec_for(Opcode.LD)))
+
+    def test_taken_branch_penalty(self):
+        spec = spec_for(Opcode.BNEZ)
+        assert gate_delays_for(spec, taken=True) > gate_delays_for(spec)
+
+    def test_average_instruction_rate_near_240mips_at_nominal(self):
+        """Rough static check; the dynamic check runs real handlers."""
+        model = TimingModel(1.8)
+        # A representative data-monitoring mix (Section 4.5: Arith Reg
+        # most frequent, Load second).
+        mix = [(Opcode.ADD, 0.35), (Opcode.MOV, 0.08), (Opcode.LD, 0.18),
+               (Opcode.ST, 0.07), (Opcode.ADDI, 0.12), (Opcode.MOVI, 0.10),
+               (Opcode.BNEZ, 0.07), (Opcode.SLL, 0.03)]
+        average = sum(model.delay_for_opcode(op) * weight
+                      for op, weight in mix)
+        mips = 1.0 / average / 1e6
+        assert 190 <= mips <= 290

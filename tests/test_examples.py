@@ -1,0 +1,39 @@
+"""Every example script runs to completion (their internal assertions
+double as integration checks)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), "%s produced no output" % script
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 7
+
+
+def test_quickstart_reports_event_driven_stats(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "sum(1..10)        = 55" in output
+    assert "timer events      = 10" in output
+    assert "wakeups" in output
+
+
+def test_blink_comparison_shows_the_gap(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "blink_comparison.py"),
+                   run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Energy ratio mote/SNAP" in output
+    assert "Overhead on the mote" in output

@@ -1,0 +1,81 @@
+"""Network-experiment tests: convergecast data gathering and lifetime
+estimation."""
+
+import pytest
+
+from repro.netstack.sampling import SAMP_SENT, build_sampling_node
+from repro.network.experiments import convergecast, lifetime_comparison
+
+
+@pytest.fixture(scope="module")
+def chain_result():
+    """One shared convergecast run (moderately expensive)."""
+    return convergecast(chain_length=4, period_s=0.1, duration_s=5.0)
+
+
+class TestConvergecast:
+    def test_all_samples_reach_the_sink(self, chain_result):
+        expected = sum(report.packets_sent
+                       for report in chain_result.nodes.values())
+        assert expected > 100
+        # Packets still in flight at the cutoff may be missing; nothing
+        # else may be lost.
+        assert expected - 6 <= chain_result.sink_deliveries <= expected
+
+    def test_staggering_avoids_collisions(self, chain_result):
+        assert chain_result.channel_collisions < 10
+
+    def test_relays_funnel_traffic(self, chain_result):
+        forwards = {nid: rep.packets_forwarded
+                    for nid, rep in chain_result.nodes.items()}
+        # Node 2 relays nodes 3 and 4; node 3 relays node 4 only.
+        assert forwards[2] > forwards[3] > forwards[4] == 0
+
+    def test_nanowatt_processor_power(self, chain_result):
+        for report in chain_result.nodes.values():
+            assert 0 < report.average_power_w < 1e-6
+
+    def test_hottest_node_is_a_relay(self, chain_result):
+        assert chain_result.hottest_node.node_id in (2, 3)
+
+
+class TestLifetime:
+    def test_lifetime_math(self, chain_result):
+        lifetime = chain_result.lifetime_s(battery_j=100.0)
+        worst = chain_result.hottest_node.average_power_w
+        assert lifetime == pytest.approx(100.0 / worst)
+
+    def test_extra_power_floor_shortens_lifetime(self, chain_result):
+        base = chain_result.lifetime_s(battery_j=100.0)
+        with_leakage = chain_result.lifetime_s(battery_j=100.0,
+                                               extra_power_w=1e-6)
+        assert with_leakage < base
+
+    def test_mote_comparison_orders_of_magnitude(self, chain_result):
+        comparison = lifetime_comparison(chain_result, battery_j=2000.0)
+        assert comparison.snap_power_w < comparison.mote_power_w / 100
+        assert comparison.ratio > 100
+
+    def test_leakage_narrows_the_gap(self, chain_result):
+        ideal = lifetime_comparison(chain_result)
+        leaky = lifetime_comparison(chain_result, snap_leakage_w=1e-6)
+        assert leaky.ratio < ideal.ratio
+
+
+class TestSamplingNode:
+    def test_standalone_sampling_node(self):
+        """A single sampling node queries its sensor and transmits."""
+        from repro.core import CoreConfig
+        from repro.netstack.sampling import SAMP_NEXT_HOP, SAMP_SINK
+        from repro.node import SensorNode
+        from repro.sensors import ConstantSensor
+
+        node = SensorNode(config=CoreConfig(voltage=0.6))
+        node.attach_sensor(ConstantSensor(0x222), sensor_id=1)
+        node.load(build_sampling_node(5, period_ticks=10_000))
+        node.processor.dmem.poke(SAMP_NEXT_HOP, 1)
+        node.processor.dmem.poke(SAMP_SINK, 1)
+        node.run(until=0.13)  # slack for the last packet's serialization
+        assert node.processor.dmem.peek(SAMP_SENT) >= 10
+        # Each report is a 9-word packet (5 header + 3 payload + checksum).
+        assert node.radio.words_sent >= 90

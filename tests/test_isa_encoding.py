@@ -1,0 +1,121 @@
+"""Encoder/decoder tests, including property-based round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    EncodingError,
+    Instruction,
+    Opcode,
+    decode,
+    decode_stream,
+    encode,
+)
+from repro.isa.instruction import BRANCH_OFFSET_MAX, BRANCH_OFFSET_MIN
+from repro.isa.opcodes import Format, all_specs, spec_for
+
+
+def _sample_instruction(spec, rd=3, rs=5, imm=0x1234, offset=-7):
+    fmt = spec.format
+    if fmt == Format.N:
+        return Instruction(spec.opcode)
+    if fmt == Format.R:
+        return Instruction(spec.opcode, rd=rd, rs=rs)
+    if fmt == Format.B:
+        return Instruction(spec.opcode, rs=rs, imm=offset)
+    if fmt == Format.RI:
+        return Instruction(spec.opcode, rd=rd, rs=rs, imm=imm)
+    return Instruction(spec.opcode, imm=imm)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.mnemonic)
+    def test_every_opcode_round_trips(self, spec):
+        instruction = _sample_instruction(spec)
+        words = encode(instruction)
+        assert len(words) == instruction.size
+        decoded, size = decode(words)
+        assert size == len(words)
+        assert decoded == instruction
+
+    @given(rd=st.integers(0, 15), rs=st.integers(0, 15))
+    def test_r_format_registers(self, rd, rs):
+        instruction = Instruction(Opcode.ADD, rd=rd, rs=rs)
+        decoded, _ = decode(encode(instruction))
+        assert (decoded.rd, decoded.rs) == (rd, rs)
+
+    @given(rs=st.integers(0, 15),
+           offset=st.integers(BRANCH_OFFSET_MIN, BRANCH_OFFSET_MAX))
+    def test_branch_offset_sign(self, rs, offset):
+        instruction = Instruction(Opcode.BNEZ, rs=rs, imm=offset)
+        decoded, _ = decode(encode(instruction))
+        assert decoded.imm == offset
+
+    @given(imm=st.integers(0, 0xFFFF))
+    def test_immediate_word(self, imm):
+        instruction = Instruction(Opcode.MOVI, rd=1, rs=0, imm=imm)
+        decoded, _ = decode(encode(instruction))
+        assert decoded.imm == imm
+
+
+class TestValidation:
+    def test_branch_offset_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.BEQZ, rs=0, imm=32))
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.BEQZ, rs=0, imm=-33))
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.ADD, rd=16, rs=0))
+
+    def test_n_format_rejects_operands(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.DONE, rd=1, rs=0))
+
+    def test_immediate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction(Opcode.MOVI, rd=0, rs=0, imm=0x10000))
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode([0x3F << 10])
+
+    def test_truncated_two_word(self):
+        words = encode(Instruction(Opcode.MOVI, rd=0, rs=0, imm=1))
+        with pytest.raises(EncodingError):
+            decode(words[:1])
+
+    def test_nonzero_pad_bits(self):
+        word = encode(Instruction(Opcode.ADD, rd=1, rs=2))[0] | 0x1
+        with pytest.raises(EncodingError):
+            decode([word])
+
+    def test_decode_past_end(self):
+        with pytest.raises(EncodingError):
+            decode([], offset=0)
+
+
+class TestDecodeStream:
+    def test_mixed_stream(self):
+        words = (encode(Instruction(Opcode.MOVI, rd=1, rs=0, imm=7))
+                 + encode(Instruction(Opcode.ADD, rd=1, rs=1))
+                 + encode(Instruction(Opcode.DONE)))
+        entries = decode_stream(words)
+        assert [e[0] for e in entries] == [0, 2, 3]
+        assert [e[1].opcode for e in entries] == [
+            Opcode.MOVI, Opcode.ADD, Opcode.DONE]
+
+
+class TestTwoWordClassification:
+    def test_paper_instruction_word_counts(self):
+        """Immediate and memory forms are two words (Section 4.4's energy
+        tiers depend on this)."""
+        assert spec_for(Opcode.ADD).two_word is False
+        assert spec_for(Opcode.SLL).two_word is False
+        assert spec_for(Opcode.ADDI).two_word is True
+        assert spec_for(Opcode.LD).two_word is True
+        assert spec_for(Opcode.ST).two_word is True
+        assert spec_for(Opcode.BFS).two_word is True

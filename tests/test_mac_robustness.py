@@ -1,0 +1,191 @@
+"""MAC robustness: framing recovery and CSMA backoff."""
+
+import pytest
+
+from repro.asm import assemble, link
+from repro.core import CoreConfig
+from repro.isa.events import Event
+from repro.netstack import layout
+from repro.netstack.drivers import build_rx_node, null_dispatch_source
+from repro.netstack.mac import mac_source
+from repro.netstack.runtime import boot_source
+from repro.network import NetworkSimulator
+
+
+class TestFramingRecovery:
+    def _receiver(self):
+        net = NetworkSimulator()
+        node = net.add_node(2, program=build_rx_node(2))
+        net.run(until=0.001)
+        return net, node
+
+    def _feed(self, net, node, words, spacing=1e-3):
+        for index, word in enumerate(words):
+            net.kernel.schedule(spacing * (index + 1), node.radio.deliver,
+                                word)
+        net.run(until=net.kernel.now + spacing * (len(words) + 4))
+
+    def test_word_loss_desync_detected(self):
+        """Dropping a header word shifts the stream so a payload word
+        lands in the LEN slot; the length sanity check catches the wild
+        value and resets instead of waiting forever."""
+        net, node = self._receiver()
+        packet = layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 1,
+                                    [0x4000, 9, 0x5000])
+        damaged = packet[:2] + packet[3:]  # TYPE word lost: stream shifts
+        self._feed(net, node, damaged)
+        dmem = node.processor.dmem
+        # The shifted stream put 0x4000 into the LEN position -> the
+        # framing check fired; nothing was (mis)delivered, and the node
+        # is alive and asleep, not wedged waiting for 0x4000 words.
+        assert dmem.peek(layout.RX_BAD_ADDR) >= 1
+        assert dmem.peek(layout.RX_COUNT_ADDR) == 0
+        assert node.processor.asleep
+
+    def test_recovers_when_stream_realigns(self):
+        """After a framing reset that consumes the tail of the damaged
+        stream, the next clean packet is received normally.  (Full
+        mid-stream realignment would need the preamble/start-symbol
+        framing that the real node's radio hardware provides.)"""
+        net, node = self._receiver()
+        # Header fragment whose (shifted) LEN word is wild and final.
+        fragment = [2, 0, 1, 7, 0x4000]
+        self._feed(net, node, fragment)
+        assert node.processor.dmem.peek(layout.RX_BAD_ADDR) == 1
+        clean = layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 2, [7])
+        self._feed(net, node, clean)
+        assert node.processor.dmem.peek(layout.RX_COUNT_ADDR) == 1
+
+    def test_plausible_but_wrong_length_caught_by_checksum(self):
+        """A corrupted LEN that stays in range is caught one layer up,
+        by the additive checksum."""
+        net, node = self._receiver()
+        packet = layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 1, [9, 8])
+        packet[layout.PKT_LEN] = 3  # claims one extra payload word
+        self._feed(net, node, packet + [0x1111])  # filler word
+        dmem = node.processor.dmem
+        assert dmem.peek(layout.RX_COUNT_ADDR) == 0
+        assert dmem.peek(layout.RX_BAD_ADDR) >= 1
+
+
+def build_csma_tx_node(node_id):
+    """A node whose SOFT event sends the staged packet via CSMA: random
+    backoff on timer 2, transmission from the TIMER2 handler."""
+    source = boot_source(
+        handlers={Event.SOFT: "csma_soft_handler",
+                  Event.TIMER2: "mac_backoff_expired",
+                  Event.RADIO_RX: "mac_rx_handler"},
+        init_calls=("mac_rx_init",),
+        node_id=node_id, start_rx=True)
+    driver = layout.equates() + """
+csma_soft_handler:
+    jal mac_send_csma
+    done
+"""
+    return link([assemble(source, name="boot"),
+                 assemble(mac_source(), name="mac"),
+                 assemble(driver, name="csmadrv"),
+                 assemble(null_dispatch_source(), name="nulldisp")])
+
+
+class TestCsma:
+    def _contention_run(self, use_csma, seeds=(1, 14)):
+        """Two senders triggered simultaneously; count sink receptions."""
+        from repro.netstack.drivers import build_tx_node
+        builder = build_csma_tx_node if use_csma else build_tx_node
+        net = NetworkSimulator()
+        a = net.add_node(1, program=builder(1))
+        b = net.add_node(2, program=builder(2))
+        sink = net.add_node(3, program=build_rx_node(3))
+        net.run(until=0.001)
+        # Distinct LFSR seeds give the two nodes distinct backoffs.
+        a.processor.lfsr.seed(seeds[0])
+        b.processor.lfsr.seed(seeds[1])
+        for node, seq in ((a, 1), (b, 2)):
+            packet = layout.make_packet(3, node.node_id,
+                                        layout.PKT_TYPE_DATA, seq, [3, seq])
+            for index, word in enumerate(packet[:-1]):
+                node.processor.dmem.poke(layout.TX_BUF + index, word)
+        a.processor.raise_soft_event()
+        b.processor.raise_soft_event()
+        net.run(until=1.0)
+        return (sink.processor.dmem.peek(layout.RX_COUNT_ADDR),
+                net.channel.collisions)
+
+    def test_simultaneous_send_without_csma_collides(self):
+        received, collisions = self._contention_run(use_csma=False)
+        assert collisions > 0
+        assert received < 2
+
+    def test_csma_backoff_separates_the_senders(self):
+        received, collisions = self._contention_run(use_csma=True)
+        assert received == 2
+        assert collisions == 0
+
+    def test_backoff_uses_the_lfsr(self):
+        """Identical seeds -> identical backoffs -> collision; the rand
+        instruction is what provides the separation."""
+        received, collisions = self._contention_run(use_csma=True,
+                                                    seeds=(7, 7))
+        assert collisions > 0
+
+
+def build_csma_ca_tx_node(node_id):
+    """CSMA/CA: short slots plus clear-channel assessment."""
+    source = boot_source(
+        handlers={Event.SOFT: "ca_soft_handler",
+                  Event.TIMER2: "mac_backoff_ca_expired",
+                  Event.RADIO_RX: "mac_rx_handler"},
+        init_calls=("mac_rx_init",),
+        node_id=node_id, start_rx=True)
+    driver = layout.equates() + """
+ca_soft_handler:
+    jal mac_send_csma_ca
+    done
+"""
+    return link([assemble(source, name="boot"),
+                 assemble(mac_source(), name="mac"),
+                 assemble(driver, name="cadrv"),
+                 assemble(null_dispatch_source(), name="nulldisp")])
+
+
+class TestCsmaCa:
+    def _run(self, seeds):
+        net = NetworkSimulator()
+        a = net.add_node(1, program=build_csma_ca_tx_node(1))
+        b = net.add_node(2, program=build_csma_ca_tx_node(2))
+        sink = net.add_node(3, program=build_rx_node(3))
+        net.run(until=0.001)
+        a.processor.lfsr.seed(seeds[0])
+        b.processor.lfsr.seed(seeds[1])
+        for node, seq in ((a, 1), (b, 2)):
+            packet = layout.make_packet(3, node.node_id,
+                                        layout.PKT_TYPE_DATA, seq, [3, seq])
+            for index, word in enumerate(packet[:-1]):
+                node.processor.dmem.poke(layout.TX_BUF + index, word)
+        a.processor.raise_soft_event()
+        b.processor.raise_soft_event()
+        net.run(until=1.0)
+        return (sink.processor.dmem.peek(layout.RX_COUNT_ADDR),
+                net.channel.collisions)
+
+    def test_carrier_sense_defers_the_later_sender(self):
+        """With CCA, ~32us backoff slots are enough: the later sender
+        hears the earlier one's transmission and defers, where the
+        sense-free variant needed ~8ms slots."""
+        received, collisions = self._run(seeds=(1, 14))
+        assert received == 2
+        assert collisions == 0
+
+    def test_cca_command_reports_channel_state(self):
+        """Direct check of the coprocessor CCA path."""
+        from repro.coprocessors.commands import CMD_CCA, make_command
+        net = NetworkSimulator()
+        a = net.add_node(1)
+        b = net.add_node(2)
+        b.radio.transmit(0xAAAA)   # b is on the air
+        a.processor.mcp.push_from_core(make_command(CMD_CCA))
+        assert a.processor.mcp.pop_to_core() == 1
+        net.kernel.run()           # transmission completes
+        a.processor.mcp.push_from_core(make_command(CMD_CCA))
+        assert a.processor.mcp.pop_to_core() == 0

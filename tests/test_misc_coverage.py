@@ -1,0 +1,161 @@
+"""Coverage for smaller pieces: tracer, dispatch latency, hex tools'
+corner cases, node-id LFSR seeding, and channel CCA."""
+
+import pytest
+
+from repro.asm import build
+from repro.core import CoreConfig, Kernel, SnapProcessor
+from repro.core.trace import Tracer
+from repro.isa.events import Event
+from repro.netstack.runtime import boot_source
+from repro.radio import Channel, Radio
+
+
+class TestTracer:
+    def _run_traced(self, limit=100000):
+        tracer = Tracer(limit=limit)
+        processor = SnapProcessor(config=CoreConfig(voltage=1.8,
+                                                    trace_fn=tracer))
+        processor.load(build("movi r1, 2\nadd r1, r1\nhalt\n"))
+        processor.run()
+        return tracer
+
+    def test_records_every_instruction(self):
+        tracer = self._run_traced()
+        assert len(tracer.entries) == 3
+        assert tracer.entries[0][2] == "movi r1, 2"
+        assert tracer.entries[-1][2] == "halt"
+
+    def test_limit_keeps_most_recent(self):
+        tracer = self._run_traced(limit=2)
+        assert len(tracer.entries) == 2
+        assert tracer.entries[-1][2] == "halt"
+
+    def test_format(self):
+        tracer = self._run_traced()
+        text = tracer.format(last=1)
+        assert "halt" in text and "0003:" in text  # movi(2) + add(1) words
+
+
+class TestDispatchLatency:
+    def test_idle_dispatch_is_the_wakeup_latency(self):
+        source = """
+        boot:
+            movi r1, 7
+            movi r2, h
+            setaddr r1, r2
+            done
+        h:
+            done
+        """
+        processor = SnapProcessor(config=CoreConfig(voltage=0.6))
+        processor.load(build(source))
+        processor.kernel.schedule(1e-3, processor.raise_soft_event)
+        processor.run()
+        meter = processor.meter
+        assert meter.dispatch_count == 1
+        assert meter.dispatch_latency_mean == pytest.approx(
+            processor.timing.wakeup_latency, rel=0.01)
+
+    def test_queued_events_wait_behind_handlers(self):
+        """A token raised mid-handler is dispatched only after the
+        running handler finishes -- its latency includes the queueing."""
+        source = """
+        boot:
+            movi r1, 7
+            movi r2, slow
+            setaddr r1, r2
+            done
+        slow:
+            movi r3, 500
+        .spin:
+            subi r3, 1
+            bnez r3, .spin
+            done
+        """
+        processor = SnapProcessor(config=CoreConfig(voltage=0.6))
+        processor.load(build(source))
+
+        def burst():
+            processor.raise_soft_event()
+            processor.raise_soft_event()
+
+        processor.kernel.schedule(1e-6, burst)
+        processor.run()
+        meter = processor.meter
+        assert meter.dispatch_count == 2
+        # The second token waited for the whole first handler.
+        assert meter.dispatch_latency_max > 10 * processor.timing.wakeup_latency
+
+
+class TestNodeIdSeeding:
+    def test_boot_seeds_lfsr_from_node_id(self):
+        """Two nodes with different ids draw different random sequences
+        right after boot (distinct CSMA backoffs)."""
+        states = {}
+        for node_id in (2, 3):
+            source = boot_source(handlers={}, node_id=node_id)
+            processor = SnapProcessor(config=CoreConfig(voltage=0.6))
+            processor.load(build(source))
+            processor.run()
+            states[node_id] = [processor.lfsr.next() for _ in range(3)]
+        assert states[2] != states[3]
+
+
+class TestChannelCca:
+    def test_busy_near_respects_range(self):
+        kernel = Kernel()
+        channel = Channel(comm_range=1.0)
+        near = Radio(kernel, name="near")
+        far = Radio(kernel, name="far")
+        listener = Radio(kernel, name="listener")
+        channel.join(near, position=(0.5, 0.0))
+        channel.join(far, position=(9.0, 0.0))
+        channel.join(listener, position=(0.0, 0.0))
+        far.transmit(1)
+        assert not listener.carrier_sense()  # out of range
+        near.transmit(2)
+        assert listener.carrier_sense()
+        kernel.run()
+        assert not listener.carrier_sense()
+
+    def test_own_transmission_counts_as_busy(self):
+        kernel = Kernel()
+        radio = Radio(kernel)
+        assert not radio.carrier_sense()
+        radio.transmit(7)
+        assert radio.carrier_sense()
+
+    def test_no_channel_means_idle(self):
+        assert not Radio(Kernel()).carrier_sense()
+
+
+class TestEventQueueUnderLoad:
+    def test_burst_beyond_capacity_drops_and_recovers(self):
+        """Failure injection: a 20-token burst against an 8-deep queue
+        drops the excess, then the system keeps working normally."""
+        source = """
+        boot:
+            movi r1, 7
+            movi r2, h
+            setaddr r1, r2
+            done
+        h:
+            ld r3, 0(r0)
+            addi r3, 1
+            st r3, 0(r0)
+            done
+        """
+        processor = SnapProcessor(config=CoreConfig(voltage=0.6))
+        processor.load(build(source))
+        processor.run(until=1e-6)
+        for _ in range(20):
+            processor.raise_soft_event()
+        processor.run(until=0.001)
+        handled_first = processor.dmem.peek(0)
+        assert handled_first == 8                      # the queue depth
+        assert processor.event_queue.dropped == 12
+        # After the burst, normal operation resumes.
+        processor.raise_soft_event()
+        processor.run(until=0.002)
+        assert processor.dmem.peek(0) == handled_first + 1

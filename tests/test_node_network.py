@@ -1,0 +1,138 @@
+"""Node assembly and multi-node network simulation tests."""
+
+import pytest
+
+from repro.asm import build
+from repro.core import CoreConfig
+from repro.network import (
+    NetworkSimulator,
+    grid_positions,
+    line_positions,
+    random_positions,
+)
+from repro.node import SensorNode
+from repro.sensors import ConstantSensor
+
+BLINK = """
+boot:
+    movi r1, 0
+    movi r2, handler
+    setaddr r1, r2
+    movi r1, 0
+    movi r2, 100
+    schedlo r1, r2
+    done
+handler:
+    ld r3, 0(r0)
+    xori r3, 1
+    st r3, 0(r0)
+    movi r4, 0x4000
+    or r4, r3
+    mov r15, r4          ; write LED port
+    movi r1, 0
+    movi r2, 100
+    schedlo r1, r2
+    done
+"""
+
+SENDER = """
+boot:
+    movi r1, 4           ; RADIO_TX_DONE -> ignore handler
+    movi r2, idle
+    setaddr r1, r2
+    movi r15, 0x2000     ; TX command
+    movi r15, 0x1234     ; data word
+    done
+idle:
+    done
+"""
+
+RECEIVER = """
+boot:
+    movi r1, 3           ; RADIO_RX event
+    movi r2, on_word
+    setaddr r1, r2
+    movi r15, 0x1000     ; RX command
+    done
+on_word:
+    mov r3, r15
+    st r3, 0(r0)
+    done
+"""
+
+
+class TestSensorNode:
+    def test_blink_program_toggles_leds(self):
+        node = SensorNode(config=CoreConfig(voltage=0.6))
+        node.load(build(BLINK))
+        node.run(until=0.00095)
+        assert node.leds.toggles(led=0) >= 8
+
+    def test_sensor_attachment_and_query(self):
+        node = SensorNode()
+        node.attach_sensor(ConstantSensor(0x55), sensor_id=2)
+        node.load(build("""
+        boot:
+            movi r1, 6         ; QUERY_DONE -> ignore handler
+            movi r2, idle
+            setaddr r1, r2
+            movi r15, 0x3002   ; Query sensor 2
+            mov r1, r15
+            st r1, 0(r0)
+            done
+        idle:
+            done
+        """))
+        node.run()
+        assert node.processor.dmem.peek(0) == 0x55
+
+    def test_total_energy_includes_radio_when_asked(self):
+        node = SensorNode()
+        node.load(build(SENDER))
+        node.run()
+        assert node.total_energy(include_radio=True) > node.total_energy()
+
+
+class TestNetworkSimulator:
+    def test_two_node_radio_link(self):
+        net = NetworkSimulator()
+        sender = net.add_node(0, program=build(SENDER))
+        receiver = net.add_node(1, program=build(RECEIVER))
+        net.run(until=0.1)
+        assert receiver.processor.dmem.peek(0) == 0x1234
+        assert sender.radio.words_sent == 1
+
+    def test_range_limits_delivery(self):
+        net = NetworkSimulator(comm_range=1.0)
+        net.add_node(0, program=build(SENDER), position=(0.0, 0.0))
+        far = net.add_node(1, program=build(RECEIVER), position=(5.0, 0.0))
+        net.run(until=0.1)
+        assert far.processor.dmem.peek(0) == 0
+
+    def test_duplicate_node_id_rejected(self):
+        net = NetworkSimulator()
+        net.add_node(0)
+        with pytest.raises(ValueError):
+            net.add_node(0)
+
+    def test_network_energy_sums_nodes(self):
+        net = NetworkSimulator()
+        net.add_node(0, program=build(SENDER))
+        net.add_node(1, program=build(RECEIVER))
+        net.run(until=0.1)
+        total = net.total_energy()
+        assert total == pytest.approx(sum(
+            node.meter.total_energy for node in net.nodes.values()))
+
+
+class TestTopology:
+    def test_line(self):
+        positions = line_positions(4, spacing=2.0)
+        assert positions == [(0.0, 0.0), (2.0, 0.0), (4.0, 0.0), (6.0, 0.0)]
+
+    def test_grid(self):
+        assert len(grid_positions(3, 4)) == 12
+
+    def test_random_deterministic(self):
+        assert random_positions(5, seed=1) == random_positions(5, seed=1)
+        assert random_positions(5, seed=1) != random_positions(5, seed=2)

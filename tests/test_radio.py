@@ -1,0 +1,203 @@
+"""Radio transceiver, channel, SEC-DED, and CRC tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Kernel
+from repro.radio import (
+    Channel,
+    Radio,
+    RadioConfig,
+    RadioMode,
+    SecDedStatus,
+    crc16_ccitt,
+    crc16_update,
+    secded_decode,
+    secded_encode,
+)
+
+
+class TestTransceiver:
+    def test_word_duration_matches_bit_rate(self):
+        config = RadioConfig(bit_rate=19_200.0, word_bits=16)
+        assert config.word_duration == pytest.approx(16 / 19_200)
+
+    def test_transmit_takes_word_duration(self):
+        kernel = Kernel()
+        radio = Radio(kernel)
+        radio.transmit(0x1234)
+        kernel.run()
+        assert kernel.now == pytest.approx(radio.config.word_duration)
+        assert radio.words_sent == 1
+
+    def test_tx_queue_serializes(self):
+        kernel = Kernel()
+        radio = Radio(kernel)
+        completions = []
+        radio.on_tx_complete = lambda: completions.append(kernel.now)
+        for word in range(3):
+            radio.transmit(word)
+        kernel.run()
+        assert radio.words_sent == 3
+        # on_tx_complete fires once, when the queue fully drains.
+        assert len(completions) == 1
+        assert kernel.now == pytest.approx(3 * radio.config.word_duration)
+
+    def test_rx_mode_gates_delivery(self):
+        kernel = Kernel()
+        radio = Radio(kernel)
+        received = []
+        radio.on_word_received = received.append
+        radio.deliver(1)
+        radio.set_receive(True)
+        radio.deliver(2)
+        assert received == [2]
+        assert radio.words_dropped == 1
+
+    def test_tx_queue_overflow(self):
+        kernel = Kernel()
+        radio = Radio(kernel, tx_queue_depth=2)
+        radio.transmit(0)  # in flight
+        radio.transmit(1)
+        radio.transmit(2)
+        with pytest.raises(OverflowError):
+            radio.transmit(3)
+
+    def test_returns_to_rx_after_tx(self):
+        kernel = Kernel()
+        radio = Radio(kernel)
+        radio.set_receive(True)
+        radio.transmit(0xAA)
+        assert radio.mode == RadioMode.TX
+        kernel.run()
+        assert radio.mode == RadioMode.RX
+
+    def test_energy_accounting(self):
+        kernel = Kernel()
+        radio = Radio(kernel)
+        radio.transmit(1)
+        kernel.run()
+        expected = radio.config.word_duration * radio.config.tx_power_w
+        assert radio.radio_energy() == pytest.approx(expected)
+
+
+class TestChannel:
+    def _pair(self, **channel_kwargs):
+        kernel = Kernel()
+        channel = Channel(**channel_kwargs)
+        sender = Radio(kernel, name="tx")
+        receiver = Radio(kernel, name="rx")
+        channel.join(sender, position=(0, 0))
+        channel.join(receiver, position=(1, 0))
+        receiver.set_receive(True)
+        return kernel, channel, sender, receiver
+
+    def test_broadcast_delivery(self):
+        kernel, channel, sender, receiver = self._pair()
+        received = []
+        receiver.on_word_received = received.append
+        sender.transmit(0xCAFE)
+        kernel.run()
+        assert received == [0xCAFE]
+        assert channel.words_carried == 1
+
+    def test_out_of_range_not_delivered(self):
+        kernel, channel, sender, receiver = self._pair(comm_range=0.5)
+        received = []
+        receiver.on_word_received = received.append
+        sender.transmit(1)
+        kernel.run()
+        assert received == []
+
+    def test_collision_corrupts(self):
+        kernel = Kernel()
+        channel = Channel()
+        a = Radio(kernel, name="a")
+        b = Radio(kernel, name="b")
+        victim = Radio(kernel, name="victim")
+        for radio in (a, b, victim):
+            channel.join(radio)
+        victim.set_receive(True)
+        received = []
+        victim.on_word_received = received.append
+        a.transmit(1)
+        b.transmit(2)  # overlaps in time with a's word
+        kernel.run()
+        assert received == []
+        assert channel.collisions >= 1
+
+    def test_sequential_transmissions_do_not_collide(self):
+        kernel, channel, sender, receiver = self._pair()
+        received = []
+        receiver.on_word_received = received.append
+        sender.transmit(1)
+        kernel.run()
+        sender.transmit(2)
+        kernel.run()
+        assert received == [1, 2]
+        assert channel.collisions == 0
+
+    def test_bit_error_injection(self):
+        kernel, channel, sender, receiver = self._pair(bit_error_rate=1.0)
+        received = []
+        receiver.on_word_received = received.append
+        sender.transmit(1)
+        kernel.run()
+        assert received == []
+        assert channel.noise_corruptions == 1
+
+
+class TestSecDed:
+    @given(byte=st.integers(0, 255))
+    def test_round_trip(self, byte):
+        word = secded_encode(byte)
+        decoded, status = secded_decode(word)
+        assert decoded == byte
+        assert status == SecDedStatus.OK
+
+    @given(byte=st.integers(0, 255), bit=st.integers(0, 12))
+    def test_single_error_corrected(self, byte, bit):
+        word = secded_encode(byte) ^ (1 << bit)
+        decoded, status = secded_decode(word)
+        assert decoded == byte
+        assert status == SecDedStatus.CORRECTED
+
+    @given(byte=st.integers(0, 255),
+           bits=st.lists(st.integers(0, 12), min_size=2, max_size=2,
+                         unique=True))
+    def test_double_error_detected(self, byte, bits):
+        word = secded_encode(byte)
+        for bit in bits:
+            word ^= 1 << bit
+        decoded, status = secded_decode(word)
+        assert status == SecDedStatus.UNCORRECTABLE
+        assert decoded is None
+
+    def test_codeword_fits_radio_word(self):
+        for byte in range(256):
+            assert secded_encode(byte) < (1 << 13)
+
+
+class TestCrc:
+    def test_known_value(self):
+        """CRC-16-CCITT of ASCII '123456789' with init 0xFFFF is 0x29B1."""
+        assert crc16_ccitt(b"123456789") == 0x29B1
+
+    def test_empty(self):
+        assert crc16_ccitt(b"") == 0xFFFF
+
+    @given(data=st.binary(min_size=1, max_size=64),
+           index=st.integers(0, 63), flip=st.integers(1, 255))
+    def test_detects_single_byte_corruption(self, data, index, flip):
+        if index >= len(data):
+            index %= len(data)
+        corrupted = bytearray(data)
+        corrupted[index] ^= flip
+        assert crc16_ccitt(data) != crc16_ccitt(bytes(corrupted))
+
+    @given(data=st.binary(max_size=32))
+    def test_update_composes(self, data):
+        crc = 0xFFFF
+        for byte in data:
+            crc = crc16_update(crc, byte)
+        assert crc == crc16_ccitt(data)

@@ -1,0 +1,97 @@
+"""Sensor, ADC, and port model tests."""
+
+import pytest
+
+from repro.core import Kernel
+from repro.sensors import (
+    Adc,
+    ConstantSensor,
+    InterruptSensor,
+    LedPort,
+    TemperatureSensor,
+    TraceSensor,
+)
+
+
+class TestAdc:
+    def test_range_endpoints(self):
+        adc = Adc(bits=10, low=0.0, high=1.0)
+        assert adc.convert(-5.0) == 0
+        assert adc.convert(5.0) == adc.max_code == 1023
+
+    def test_monotonic(self):
+        adc = Adc(bits=8, low=0.0, high=10.0)
+        codes = [adc.convert(v / 10) for v in range(0, 101)]
+        assert codes == sorted(codes)
+
+    def test_reconstruction_error_within_one_lsb(self):
+        adc = Adc(bits=10, low=-10.0, high=50.0)
+        step = 60.0 / 1024
+        for value in (-10.0, 0.0, 17.3, 49.9):
+            code = adc.convert(value)
+            assert abs(adc.to_physical(code) - value) <= step
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Adc(bits=0)
+        with pytest.raises(ValueError):
+            Adc(low=1.0, high=0.0)
+
+
+class TestSensors:
+    def test_constant(self):
+        assert ConstantSensor(7).read(123.0) == 7
+
+    def test_trace_replays_by_time(self):
+        sensor = TraceSensor([10, 20, 30], sample_hz=1.0)
+        assert sensor.read(0.5) == 10
+        assert sensor.read(1.5) == 20
+        assert sensor.read(3.5) == 10  # wraps
+
+    def test_trace_no_wrap_clamps(self):
+        sensor = TraceSensor([1, 2], sample_hz=1.0, wrap=False)
+        assert sensor.read(99.0) == 2
+
+    def test_trace_requires_samples(self):
+        with pytest.raises(ValueError):
+            TraceSensor([])
+
+    def test_temperature_deterministic_and_in_range(self):
+        a = TemperatureSensor(seed=42)
+        b = TemperatureSensor(seed=42)
+        readings = [a.read(t * 3600.0) for t in range(24)]
+        assert readings == [b.read(t * 3600.0) for t in range(24)]
+        assert all(0 <= code <= a.adc.max_code for code in readings)
+
+    def test_temperature_follows_diurnal_cycle(self):
+        sensor = TemperatureSensor(base_c=20.0, amplitude_c=10.0,
+                                   period_s=86400.0, noise_c=0.0)
+        quarter = sensor.temperature_at(86400.0 / 4)
+        three_quarter = sensor.temperature_at(3 * 86400.0 / 4)
+        assert quarter == pytest.approx(30.0)
+        assert three_quarter == pytest.approx(10.0)
+
+    def test_interrupt_sensor_fires_and_latches(self):
+        kernel = Kernel()
+        sensor = InterruptSensor(kernel, values=[5, 6])
+        fired = []
+        sensor.on_interrupt = lambda: fired.append(kernel.now)
+        sensor.schedule_interrupts([1.0, 2.0])
+        kernel.run()
+        assert fired == [1.0, 2.0]
+        assert sensor.read(kernel.now) == 6
+
+
+class TestPorts:
+    def test_history_and_value(self):
+        port = LedPort()
+        port.write(1, 0.0)
+        port.write(0, 1.0)
+        assert port.value == 0
+        assert port.history == [(0.0, 1), (1.0, 0)]
+
+    def test_toggle_counting(self):
+        port = LedPort()
+        for time, value in enumerate([1, 0, 1, 1, 0]):
+            port.write(value, float(time))
+        assert port.toggles(led=0) == 3
