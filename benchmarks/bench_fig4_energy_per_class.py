@@ -7,7 +7,7 @@ operations.  This benchmark regenerates the figure's series.
 """
 
 from repro.bench.harness import VOLTAGES, instruction_class_energy
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
 
 #: One-word, two-word, and memory tiers (the paper's three groups).
 TIER_ONE_WORD = ("Arith Reg", "Logical Reg", "Shift", "Branch")
@@ -30,6 +30,7 @@ def test_fig4_energy_per_instruction_class(benchmark):
     print(format_table(
         ["Instruction class"] + ["pJ/ins @%.1fV" % v for v in VOLTAGES],
         rows, title="Figure 4: energy per instruction type"))
+    dump_results("fig4_energy_per_class", results)
 
     at_18, at_06 = results[1.8], results[0.6]
 

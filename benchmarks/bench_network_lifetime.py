@@ -12,7 +12,7 @@ the same instruction stream.
 
 import pytest
 
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
 from repro.network.experiments import convergecast, lifetime_comparison
 
 
@@ -38,6 +38,13 @@ def test_convergecast_lifetime(benchmark):
     print("lifetime: SNAP %.0f years vs mote %.2f years (%.0fx)"
           % (comparison.snap_lifetime_s / 3.15e7,
              comparison.mote_lifetime_s / 3.15e7, comparison.ratio))
+
+    # With BENCH_RESULTS_DIR set, persist the numbers plus the full
+    # network metrics snapshot (per-node counters, channel statistics).
+    dump_results("network_lifetime",
+                 {"nodes": result.nodes, "comparison": comparison,
+                  "sink_deliveries": result.sink_deliveries},
+                 metrics=result.metrics)
 
     # The workload actually ran: every reporter's samples reached the
     # sink (3 reporters x ~99 periods).

@@ -1,4 +1,8 @@
-"""Plain-text table formatting for benchmark reports."""
+"""Plain-text table formatting and JSON result dumps for benchmarks."""
+
+import dataclasses
+import json
+import os
 
 
 def format_table(headers, rows, title=None):
@@ -26,3 +30,42 @@ def ratio_note(measured, paper):
     if paper == 0:
         return "n/a"
     return "%.2fx of paper" % (measured / paper)
+
+
+def _jsonable(value):
+    """Best-effort conversion of bench results to JSON-friendly values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def dump_results(name, results, metrics=None, directory=None):
+    """Write ``BENCH_<name>.json`` with *results* and an optional metrics
+    snapshot for counter context.
+
+    *directory* defaults to the ``BENCH_RESULTS_DIR`` environment
+    variable; when neither is set the dump is skipped and ``None`` is
+    returned, so benchmarks can call this unconditionally.  *results*
+    may contain dataclasses (``HandlerRow``, ``ConvergecastResult``,
+    ...); they are converted field-by-field.  *metrics* is typically a
+    :meth:`NetworkSimulator.snapshot` or
+    :meth:`MetricsRegistry.snapshot` dict.
+    """
+    directory = directory or os.environ.get("BENCH_RESULTS_DIR")
+    if not directory:
+        return None
+    payload = {"benchmark": name, "results": _jsonable(results)}
+    if metrics is not None:
+        payload["metrics"] = _jsonable(metrics)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_%s.json" % name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return path

@@ -30,13 +30,28 @@ from repro.coprocessors.fifo import Fifo
 from repro.isa.events import Event
 from repro.signals import WouldBlock
 
+#: Trace names of the coprocessor commands (see ``repro.obs``).
+COMMAND_NAMES = {
+    CMD_TX: "tx",
+    CMD_RX: "rx",
+    CMD_IDLE: "idle",
+    CMD_QUERY: "query",
+    CMD_LED: "led",
+    CMD_CCA: "cca",
+}
+
 
 class MessageCoprocessor:
     """Mediates between the core's r15 and the attached devices."""
 
-    def __init__(self, kernel, event_queue, fifo_capacity=16, on_token=None):
+    def __init__(self, kernel, event_queue, fifo_capacity=16, on_token=None,
+                 name="mcp"):
         self._kernel = kernel
         self._event_queue = event_queue
+        self.name = name
+        #: Optional :class:`~repro.obs.Observability` context (set by
+        #: ``SnapProcessor.attach_observability``).
+        self.obs = None
         self.incoming = Fifo(capacity=fifo_capacity, name="r15-incoming")
         self.outgoing = Fifo(capacity=fifo_capacity, name="r15-outgoing")
         self._radio = None
@@ -104,10 +119,17 @@ class MessageCoprocessor:
         if self._awaiting_tx_data:
             self._awaiting_tx_data = False
             self.tx_words += 1
+            if self.obs is not None:
+                self.obs.coproc_command(self.name, self._kernel.now,
+                                        "tx_data", word)
             self._require_radio().transmit(word)
             return
         kind = command_kind(word)
         payload = command_payload(word)
+        if self.obs is not None:
+            self.obs.coproc_command(
+                self.name, self._kernel.now,
+                COMMAND_NAMES.get(kind, "0x%04x" % word), word)
         if kind == CMD_TX:
             self._awaiting_tx_data = True
         elif kind == CMD_RX:

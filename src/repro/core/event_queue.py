@@ -35,19 +35,25 @@ class EventToken:
 class EventQueue:
     """Finite FIFO of :class:`EventToken` s."""
 
-    def __init__(self, capacity=DEFAULT_CAPACITY, policy=POLICY_DROP):
+    def __init__(self, capacity=DEFAULT_CAPACITY, policy=POLICY_DROP,
+                 name="eq"):
         if capacity <= 0:
             raise ValueError("event queue capacity must be positive")
         if policy not in (POLICY_DROP, POLICY_FAULT):
             raise ValueError("unknown overflow policy %r" % policy)
         self.capacity = capacity
         self.policy = policy
+        self.name = name
         self._tokens = deque()
         self.inserted = 0
         self.dropped = 0
         #: Observers called (with the token) on every successful insert;
         #: the processor uses this to wake from sleep.
         self.on_insert = []
+        #: Optional :class:`~repro.obs.Observability` context (set by
+        #: ``SnapProcessor.attach_observability``); ``None`` disables all
+        #: instrumentation.
+        self.obs = None
 
     def __len__(self):
         return len(self._tokens)
@@ -71,10 +77,16 @@ class EventQueue:
                     "event queue full (capacity %d) inserting %s"
                     % (self.capacity, Event(event).name))
             self.dropped += 1
+            if self.obs is not None:
+                self.obs.event_dropped(self.name, raised_at,
+                                       Event(event).name)
             return False
         token = EventToken(event=Event(event), raised_at=raised_at)
         self._tokens.append(token)
         self.inserted += 1
+        if self.obs is not None:
+            self.obs.event_enqueued(self.name, raised_at, token.event.name,
+                                    len(self._tokens))
         for observer in list(self.on_insert):
             observer(token)
         return True
@@ -83,7 +95,10 @@ class EventQueue:
         """Remove and return the head token; None when empty."""
         if not self._tokens:
             return None
-        return self._tokens.popleft()
+        token = self._tokens.popleft()
+        if self.obs is not None:
+            self.obs.queue_depth(self.name, len(self._tokens))
+        return token
 
     def peek(self):
         return self._tokens[0] if self._tokens else None

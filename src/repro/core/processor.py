@@ -120,6 +120,25 @@ class SnapProcessor:
         self._step_pending = False
         self._decode_cache = {}
 
+        #: Optional :class:`~repro.obs.Observability` context.  ``None``
+        #: (the default) means every hook site is a single skipped
+        #: ``is not None`` check -- simulation results are bit-identical
+        #: with observability detached.
+        self.obs = None
+
+    def attach_observability(self, obs):
+        """Attach an :class:`~repro.obs.Observability` context.
+
+        Instruments this core, its event queue, and its message
+        coprocessor.  Pass ``None`` to detach.
+        """
+        self.obs = obs
+        self.event_queue.obs = obs
+        self.event_queue.name = "%s.eq" % self.name
+        self.mcp.obs = obs
+        self.mcp.name = "%s.mcp" % self.name
+        return self
+
     # -- program loading and control ------------------------------------------
 
     def load(self, program):
@@ -203,6 +222,7 @@ class SnapProcessor:
         if self.config.trace_fn is not None:
             self.config.trace_fn(self, self.kernel.now, self.pc, instruction)
 
+        pc = self.pc
         outcome = execute(self, instruction)
 
         spec = instruction.spec
@@ -210,6 +230,10 @@ class SnapProcessor:
         breakdown = self.energy_model.instruction_energy(spec)
         self.meter.record_instruction(spec, breakdown, delay,
                                       handler_tag=self.current_tag)
+        if self.obs is not None:
+            self.obs.instruction_retired(
+                self.name, self.kernel.now, pc, instruction,
+                self.current_tag, breakdown.total, delay)
         self._check_budget()
 
         if outcome.halt:
@@ -275,11 +299,18 @@ class SnapProcessor:
         if token is None:
             self.mode = Mode.SLEEPING
             self._sleep_start = self.kernel.now
+            if self.obs is not None:
+                self.obs.sleep_enter(self.name, self.kernel.now)
             return False
         self.pc = self.handler_table[token.event]
         self.current_tag = self.handler_tags[token.event]
         self.meter.record_handler_start(self.current_tag)
-        self.meter.record_dispatch_latency(self.kernel.now - token.raised_at)
+        latency = self.kernel.now - token.raised_at
+        self.meter.record_dispatch_latency(latency)
+        if self.obs is not None:
+            self.obs.handler_dispatch(self.name, self.kernel.now,
+                                      token.event.name, self.current_tag,
+                                      latency)
         return True
 
     # -- wakeup ----------------------------------------------------------------
@@ -290,6 +321,8 @@ class SnapProcessor:
         idle = self.kernel.now - self._sleep_start
         self.meter.record_idle(idle, self.energy_model.idle_energy(idle))
         self.meter.record_wakeup(self.energy_model.wakeup_energy)
+        if self.obs is not None:
+            self.obs.wakeup(self.name, self.kernel.now, idle)
         self.mode = Mode.WAKING
         self._schedule_step(self.timing.wakeup_latency)
 

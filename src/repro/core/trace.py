@@ -1,24 +1,42 @@
 """Execution tracing helpers."""
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
 
-
-@dataclass
 class Tracer:
     """Collects an execution trace; install as ``CoreConfig.trace_fn``.
 
     Each entry is ``(time, pc, text)``.  Use ``limit`` to keep only the
     most recent entries of a long run.
+
+    Trimming is amortized: the internal list is allowed to grow to twice
+    the limit before the oldest half is discarded in one ``del``, so a
+    long traced run costs O(1) per instruction instead of the O(limit)
+    per-append front-deletion of the naive scheme.  :attr:`entries`
+    always presents at most ``limit`` entries.
     """
 
-    limit: int = 100000
-    entries: List[Tuple[float, int, str]] = field(default_factory=list)
+    def __init__(self, limit=100000):
+        if limit <= 0:
+            raise ValueError("trace limit must be positive")
+        self.limit = limit
+        self._entries = []
 
     def __call__(self, processor, time, pc, instruction):
-        self.entries.append((time, pc, instruction.text()))
-        if len(self.entries) > self.limit:
-            del self.entries[: len(self.entries) - self.limit]
+        self._entries.append((time, pc, instruction.text()))
+        if len(self._entries) >= 2 * self.limit:
+            del self._entries[: len(self._entries) - self.limit]
+
+    @property
+    def entries(self):
+        """The most recent entries (at most ``limit`` of them)."""
+        if len(self._entries) > self.limit:
+            del self._entries[: len(self._entries) - self.limit]
+        return self._entries
+
+    def __len__(self):
+        return min(len(self._entries), self.limit)
+
+    def clear(self):
+        del self._entries[:]
 
     def format(self, last=None):
         """Render the trace (optionally only the *last* N entries)."""

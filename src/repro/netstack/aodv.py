@@ -22,7 +22,26 @@ Exports ``mac_rx_dispatch`` (consumed by the MAC), ``rt_lookup``,
 the application layer to export ``app_deliver``.
 """
 
-from repro.netstack.layout import equates
+from repro.netstack.layout import (
+    FWD_COUNT_ADDR,
+    REBROADCAST_COUNT_ADDR,
+    RREP_COUNT_ADDR,
+    equates,
+)
+
+#: DMEM cells where the routing assembly keeps its counters, by metric
+#: name; harvested into the metrics registry as ``<node>.aodv.<name>``.
+AODV_COUNTER_CELLS = {
+    "forwards": FWD_COUNT_ADDR,
+    "rreps_sent": RREP_COUNT_ADDR,
+    "rreq_rebroadcasts": REBROADCAST_COUNT_ADDR,
+}
+
+
+def read_aodv_counters(dmem):
+    """Harvest the routing layer's DMEM counters from data memory."""
+    return {name: dmem.peek(address)
+            for name, address in AODV_COUNTER_CELLS.items()}
 
 
 def aodv_source():

@@ -18,7 +18,28 @@ Exports:
 The upper layer (routing or application) must export ``mac_rx_dispatch``.
 """
 
-from repro.netstack.layout import equates
+from repro.netstack.layout import (
+    RX_BAD_ADDR,
+    RX_COUNT_ADDR,
+    TX_COUNT_ADDR,
+    equates,
+)
+
+#: DMEM cells where the MAC assembly keeps its packet counters, by
+#: metric name.  The Python-side observability layer harvests these into
+#: the metrics registry (``<node>.mac.<name>``); see
+#: ``SensorNode.metrics_snapshot`` and ``docs/OBSERVABILITY.md``.
+MAC_COUNTER_CELLS = {
+    "tx_packets": TX_COUNT_ADDR,
+    "rx_packets": RX_COUNT_ADDR,
+    "rx_bad": RX_BAD_ADDR,
+}
+
+
+def read_mac_counters(dmem):
+    """Harvest the MAC's DMEM counters from a node's data memory."""
+    return {name: dmem.peek(address)
+            for name, address in MAC_COUNTER_CELLS.items()}
 
 
 def mac_source():

@@ -54,6 +54,25 @@ REL_RX_VALUE = APP_BASE_ADDR + 13      # last delivered payload word
 RETRY_TIMEOUT_TICKS = 30_000
 MAX_RETRIES = 3
 
+#: DMEM cells where the reliable-MAC assembly keeps its counters, by
+#: metric name; harvested into the metrics registry as
+#: ``<node>.reliable.<name>``.  Only meaningful for programs linked with
+#: this module (the cells live in the APP_BASE scratch region).
+RELIABLE_COUNTER_CELLS = {
+    "delivered": REL_DELIVERED,
+    "failed": REL_FAILED,
+    "retransmissions": REL_RETX,
+    "rx_delivered": REL_RX_DELIVERED,
+    "rx_duplicates": REL_RX_DUPS,
+    "acks_sent": REL_ACKS_SENT,
+}
+
+
+def read_reliable_counters(dmem):
+    """Harvest the reliable layer's DMEM counters from data memory."""
+    return {name: dmem.peek(address)
+            for name, address in RELIABLE_COUNTER_CELLS.items()}
+
 
 def reliable_source(timeout_ticks=RETRY_TIMEOUT_TICKS,
                     max_retries=MAX_RETRIES):

@@ -44,6 +44,9 @@ class ConvergecastResult:
     sink_deliveries: int
     nodes: Dict[int, NodeReport]
     channel_collisions: int
+    #: Full :meth:`NetworkSimulator.snapshot` taken at the end of the
+    #: run -- per-node and channel counters for bench JSON dumps.
+    metrics: dict = None
 
     @property
     def hottest_node(self):
@@ -125,7 +128,8 @@ def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
         duration_s=duration_s,
         sink_deliveries=sink.processor.dmem.peek(THRESH_COUNT),
         nodes=reports,
-        channel_collisions=net.channel.collisions)
+        channel_collisions=net.channel.collisions,
+        metrics=net.snapshot())
 
 
 @dataclass

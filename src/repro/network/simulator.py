@@ -15,6 +15,7 @@ class NetworkSimulator:
                                bit_error_rate=bit_error_rate, seed=seed,
                                corruption=corruption)
         self.nodes = {}
+        self.obs = None
 
     def add_node(self, node_id, program=None, position=(0.0, 0.0),
                  config=None, radio_config=None):
@@ -27,8 +28,18 @@ class NetworkSimulator:
         self.channel.join(node.radio)
         if program is not None:
             node.load(program)
+        if self.obs is not None:
+            node.attach_observability(self.obs)
         self.nodes[node_id] = node
         return node
+
+    def attach_observability(self, obs):
+        """Instrument the channel and every node (present and future)."""
+        self.obs = obs
+        self.channel.obs = obs
+        for node in self.nodes.values():
+            node.attach_observability(obs)
+        return self
 
     def start(self):
         """Start every loaded node's processor.
@@ -49,3 +60,37 @@ class NetworkSimulator:
         """Sum of node energies across the network."""
         return sum(node.total_energy(include_radio=include_radio)
                    for node in self.nodes.values())
+
+    def snapshot(self, include_netstack=None):
+        """Aggregate per-node metrics plus channel-level statistics.
+
+        Returns a plain JSON-serializable dict: simulation time, channel
+        counters, per-node :meth:`SensorNode.metrics_snapshot` entries,
+        and network totals (instructions, energy, radio words, drops).
+        """
+        nodes = {node_id: node.metrics_snapshot(
+                     include_netstack=include_netstack)
+                 for node_id, node in self.nodes.items()}
+        totals = {
+            "instructions": sum(n["cpu"]["instructions"]
+                                for n in nodes.values()),
+            "energy_j": sum(n["cpu"]["energy_j"] for n in nodes.values()),
+            "radio_energy_j": sum(n["radio"]["energy_j"]
+                                  for n in nodes.values()),
+            "radio_words_sent": sum(n["radio"]["words_sent"]
+                                    for n in nodes.values()),
+            "radio_words_dropped": sum(n["radio"]["words_dropped"]
+                                       for n in nodes.values()),
+            "event_drops": sum(n["event_queue"]["dropped"]
+                               for n in nodes.values()),
+        }
+        return {
+            "time_s": self.kernel.now,
+            "channel": {
+                "words_carried": self.channel.words_carried,
+                "collisions": self.channel.collisions,
+                "noise_corruptions": self.channel.noise_corruptions,
+            },
+            "totals": totals,
+            "nodes": nodes,
+        }

@@ -2,6 +2,8 @@
 
 from repro.core.kernel import Kernel
 from repro.core.processor import CoreConfig, SnapProcessor
+from repro.netstack.aodv import read_aodv_counters
+from repro.netstack.mac import read_mac_counters
 from repro.radio.transceiver import Radio, RadioConfig
 from repro.sensors.ports import LedPort
 
@@ -68,3 +70,58 @@ class SensorNode:
         if include_radio:
             energy += self.radio.radio_energy()
         return energy
+
+    # -- observability ---------------------------------------------------
+
+    def attach_observability(self, obs):
+        """Instrument the whole node (core, queue, coprocessor, radio)."""
+        self.processor.attach_observability(obs)
+        self.radio.obs = obs
+        return self
+
+    def metrics_snapshot(self, include_netstack=None):
+        """A plain-dict snapshot of every counter this node exposes.
+
+        Includes processor/meter statistics, event-queue and coprocessor
+        counters, radio activity, and -- for nodes running the netstack
+        (*include_netstack* defaults to ``self.loaded``) -- the MAC and
+        AODV packet counters harvested from their DMEM cells.
+        """
+        meter = self.meter
+        processor = self.processor
+        snapshot = {
+            "cpu": {
+                "instructions": meter.instructions,
+                "cycles": meter.cycles,
+                "energy_j": meter.total_energy,
+                "busy_s": meter.busy_time,
+                "idle_s": meter.idle_time,
+                "wakeups": meter.wakeups,
+                "dispatches": meter.dispatch_count,
+                "mode": processor.mode.value,
+            },
+            "event_queue": {
+                "inserted": processor.event_queue.inserted,
+                "dropped": processor.event_queue.dropped,
+                "depth": len(processor.event_queue),
+            },
+            "mcp": {
+                "commands": processor.mcp.commands_processed,
+                "tx_words": processor.mcp.tx_words,
+                "rx_words": processor.mcp.rx_words,
+            },
+            "radio": {
+                "words_sent": self.radio.words_sent,
+                "words_received": self.radio.words_received,
+                "words_dropped": self.radio.words_dropped,
+                "tx_s": self.radio.tx_time,
+                "rx_s": self.radio.rx_time,
+                "energy_j": self.radio.radio_energy(),
+            },
+        }
+        if include_netstack is None:
+            include_netstack = self.loaded
+        if include_netstack:
+            snapshot["mac"] = read_mac_counters(self.processor.dmem)
+            snapshot["aodv"] = read_aodv_counters(self.processor.dmem)
+        return snapshot

@@ -1,0 +1,61 @@
+"""Unified observability for the SNAP/LE simulation stack.
+
+Three cooperating pieces, all opt-in and zero-cost when detached:
+
+* a **structured trace bus** (:mod:`repro.obs.bus`) carrying typed
+  events (:mod:`repro.obs.events`) to sinks -- in-memory ring, JSONL
+  stream, Chrome ``chrome://tracing`` export;
+* a **metrics registry** (:mod:`repro.obs.metrics`) of counters, gauges,
+  and histograms wired into the core, event queue, coprocessors, radio,
+  and channel;
+* a **profiler** (:mod:`repro.obs.profiler`) attributing time and energy
+  per handler and per PC, reconciling against the
+  :class:`~repro.energy.accounting.EnergyMeter`.
+
+Typical use::
+
+    from repro.obs import Observability
+
+    obs = Observability(profile=True)
+    obs.observe(node)                  # or processor, or NetworkSimulator
+    node.run(until=0.1)
+    print(obs.profiler.report())
+    print(obs.metrics.snapshot())
+
+The ``snap-prof`` CLI (``python -m repro.tools.snap_prof``) wraps this
+for one-shot program profiling.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.bus import (
+    JsonlSink,
+    KindFilter,
+    MemorySink,
+    TraceBus,
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.context import Observability
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import HandlerProfile, PcProfile, Profiler
+
+__all__ = [
+    "Observability",
+    "TraceBus",
+    "MemorySink",
+    "JsonlSink",
+    "KindFilter",
+    "chrome_trace",
+    "write_chrome_trace",
+    "read_jsonl",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Profiler",
+    "HandlerProfile",
+    "PcProfile",
+]

@@ -1,0 +1,159 @@
+"""The structured trace bus and its sinks.
+
+A :class:`TraceBus` fans typed :mod:`~repro.obs.events` out to any number
+of sinks (plain callables).  Components hold an ``obs`` reference that is
+``None`` by default and guard every emission site with an ``is not None``
+check, so an uninstrumented run executes no observability code at all --
+the zero-cost property the benchmarks rely on.
+
+Sinks provided here:
+
+* :class:`MemorySink` -- a bounded in-memory ring, for tests and the
+  profiler CLI;
+* :class:`JsonlSink` -- one JSON object per line, streamed to a file;
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- convert a list of
+  events to the Chrome ``chrome://tracing`` (Trace Event Format) JSON.
+"""
+
+import json
+from collections import deque
+
+
+class TraceBus:
+    """Fans events out to attached sinks; no sinks means no work."""
+
+    __slots__ = ("sinks",)
+
+    def __init__(self):
+        self.sinks = []
+
+    def attach(self, sink):
+        """Attach a sink (any ``sink(event)`` callable); returns it."""
+        self.sinks.append(sink)
+        return sink
+
+    def detach(self, sink):
+        self.sinks.remove(sink)
+
+    def emit(self, event):
+        for sink in self.sinks:
+            sink(event)
+
+
+class MemorySink:
+    """Keeps the most recent *limit* events in memory."""
+
+    def __init__(self, limit=None):
+        self.events = deque(maxlen=limit)
+
+    def __call__(self, event):
+        self.events.append(event)
+
+    def __len__(self):
+        return len(self.events)
+
+    def records(self):
+        """The buffered events as plain dicts."""
+        return [event.to_record() for event in self.events]
+
+
+class KindFilter:
+    """Forward only events whose ``kind`` is in *kinds* to *sink*."""
+
+    def __init__(self, kinds, sink):
+        self.kinds = frozenset(kinds)
+        self.sink = sink
+
+    def __call__(self, event):
+        if event.kind in self.kinds:
+            self.sink(event)
+
+
+class JsonlSink:
+    """Stream events to *path* as JSON Lines; use as a context manager or
+    call :meth:`close` when done."""
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = open(path, "w")
+        self.count = 0
+
+    def __call__(self, event):
+        if self._handle is None:
+            return
+        json.dump(event.to_record(), self._handle)
+        self._handle.write("\n")
+        self.count += 1
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def read_jsonl(path):
+    """Load a JSONL trace back into a list of record dicts."""
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+# -- Chrome trace-event export -------------------------------------------------
+
+#: Microseconds per simulated second in the exported timeline.  Chrome's
+#: viewer works in microseconds; SNAP events are nanoseconds apart, so
+#: the export stretches simulated time by 1e6 (1 us shown = 1 ps real).
+CHROME_TIME_SCALE = 1e6
+
+
+def chrome_trace(events, time_scale=CHROME_TIME_SCALE):
+    """Convert trace events to Chrome Trace Event Format entries.
+
+    Instructions become complete ("X") slices on their node's track;
+    everything else becomes an instant ("i") event.  Load the resulting
+    JSON in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    entries = []
+    for event in events:
+        timestamp = event.time * time_scale
+        record = event.to_record()
+        if event.kind == "instruction":
+            entries.append({
+                "name": record["mnemonic"],
+                "cat": record["handler"],
+                "ph": "X",
+                "ts": timestamp,
+                "dur": record["duration"] * time_scale,
+                "pid": event.node,
+                "tid": record["handler"],
+                "args": {"pc": "0x%04x" % record["pc"],
+                         "energy_pJ": record["energy"] * 1e12},
+            })
+        else:
+            args = {key: value for key, value in record.items()
+                    if key not in ("type", "time", "node")}
+            entries.append({
+                "name": event.kind,
+                "cat": event.kind,
+                "ph": "i",
+                "s": "t",
+                "ts": timestamp,
+                "pid": event.node,
+                "tid": event.kind,
+                "args": args,
+            })
+    return entries
+
+
+def write_chrome_trace(events, path, time_scale=CHROME_TIME_SCALE):
+    """Write *events* to *path* in Chrome Trace Event Format."""
+    payload = {"traceEvents": chrome_trace(events, time_scale=time_scale),
+               "displayTimeUnit": "ns"}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path

@@ -1,0 +1,129 @@
+"""The :class:`Observability` context: one trace bus + one metrics
+registry + an optional profiler, shared by every instrumented component.
+
+Components (processor, event queue, coprocessor, radio, channel) keep an
+``obs`` attribute that defaults to ``None`` and guard each hook call with
+``if self.obs is not None`` -- the disabled path touches no observability
+code, so simulation results are bit-identical with and without the layer
+(verified by ``tests/test_obs_profiler.py``).
+
+The hook methods below are the single funnel: they update the metrics
+registry and emit one typed event onto the bus.  Metric names are dotted
+``<component>.<metric>`` paths; see ``docs/OBSERVABILITY.md`` for the
+full catalogue.
+"""
+
+from repro.obs.bus import TraceBus
+from repro.obs.events import (
+    CoprocessorCommand,
+    EnergySample,
+    EventDropped,
+    EventEnqueued,
+    HandlerDispatch,
+    InstructionRetired,
+    RadioDrop,
+    RadioRx,
+    RadioTx,
+    SleepEnter,
+    Wakeup,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import Profiler
+
+
+class Observability:
+    """Bundles the trace bus, metrics registry, and optional profiler."""
+
+    def __init__(self, bus=None, metrics=None, profile=False):
+        self.bus = bus if bus is not None else TraceBus()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = None
+        if profile:
+            self.profiler = self.bus.attach(Profiler())
+
+    def observe(self, target):
+        """Attach this context to any instrumentable *target*.
+
+        The target must implement ``attach_observability(obs)`` (the
+        processor, node, and network simulator all do).  Returns the
+        target for chaining.
+        """
+        target.attach_observability(self)
+        return target
+
+    # -- processor hooks ------------------------------------------------------
+
+    def instruction_retired(self, node, time, pc, instruction, handler,
+                            energy, duration):
+        self.metrics.counter(node + ".instructions").inc()
+        self.bus.emit(InstructionRetired(
+            time=time, node=node, pc=pc, mnemonic=instruction.text(),
+            instr_class=instruction.spec.instr_class.value,
+            handler=handler, energy=energy, duration=duration))
+
+    def handler_dispatch(self, node, time, event_name, handler, latency):
+        self.metrics.counter(node + ".dispatches").inc()
+        self.metrics.histogram(node + ".dispatch_latency").observe(latency)
+        self.bus.emit(HandlerDispatch(
+            time=time, node=node, event=event_name, handler=handler,
+            latency=latency))
+
+    def sleep_enter(self, node, time):
+        self.metrics.counter(node + ".sleeps").inc()
+        self.bus.emit(SleepEnter(time=time, node=node))
+
+    def wakeup(self, node, time, idle):
+        self.metrics.counter(node + ".wakeups").inc()
+        self.bus.emit(Wakeup(time=time, node=node, idle=idle))
+
+    def energy_sample(self, node, time, energy, instructions):
+        self.bus.emit(EnergySample(time=time, node=node, energy=energy,
+                                   instructions=instructions))
+
+    # -- event-queue hooks ----------------------------------------------------
+
+    def event_enqueued(self, node, time, event_name, depth):
+        self.metrics.counter(node + ".inserted").inc()
+        self.metrics.gauge(node + ".depth").set(depth)
+        self.bus.emit(EventEnqueued(time=time, node=node, event=event_name,
+                                    depth=depth))
+
+    def event_dropped(self, node, time, event_name):
+        self.metrics.counter(node + ".dropped").inc()
+        self.bus.emit(EventDropped(time=time, node=node, event=event_name))
+
+    def queue_depth(self, node, depth):
+        self.metrics.gauge(node + ".depth").set(depth)
+
+    # -- message-coprocessor hooks --------------------------------------------
+
+    def coproc_command(self, node, time, command, word):
+        self.metrics.counter(node + ".commands").inc()
+        self.bus.emit(CoprocessorCommand(time=time, node=node,
+                                         command=command, word=word))
+
+    # -- radio and channel hooks ----------------------------------------------
+
+    def radio_tx(self, node, time, word, queue_depth):
+        self.metrics.counter(node + ".tx_words").inc()
+        self.metrics.gauge(node + ".tx_queue_depth").set(queue_depth)
+        self.bus.emit(RadioTx(time=time, node=node, word=word))
+
+    def radio_rx(self, node, time, word):
+        self.metrics.counter(node + ".rx_words").inc()
+        self.bus.emit(RadioRx(time=time, node=node, word=word))
+
+    def radio_drop(self, node, time, word, reason):
+        self.metrics.counter(node + ".dropped_words").inc()
+        self.metrics.counter(node + ".dropped_words." + reason).inc()
+        self.bus.emit(RadioDrop(time=time, node=node, word=word,
+                                reason=reason))
+
+    def channel_word(self):
+        self.metrics.counter("channel.words_carried").inc()
+
+    def channel_collision(self):
+        self.metrics.counter("channel.collisions").inc()
+
+    def channel_noise(self):
+        self.metrics.counter("channel.noise_corruptions").inc()

@@ -1,0 +1,147 @@
+"""Typed trace events carried by the :class:`~repro.obs.bus.TraceBus`.
+
+Every observable occurrence in the simulated system -- an instruction
+retiring, an event-queue dispatch, a coprocessor command, a radio word on
+the air, an energy sample -- is one frozen dataclass instance.  Events
+carry the simulation *time* (seconds) and the *node* (component name,
+e.g. ``node0.cpu``) they originated from, plus kind-specific fields.
+
+The ``kind`` class attribute is the stable wire name used by the JSONL
+and Chrome-trace exporters and by the golden-trace regression tests; do
+not rename kinds without regenerating the goldens under
+``tests/goldens/``.
+"""
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: when and where the event happened."""
+
+    kind = "event"
+
+    time: float
+    node: str
+
+    def to_record(self):
+        """A flat JSON-serializable dict (``type`` + every field)."""
+        record = {"type": self.kind}
+        for field in fields(self):
+            record[field.name] = getattr(self, field.name)
+        return record
+
+
+@dataclass(frozen=True)
+class InstructionRetired(TraceEvent):
+    """One instruction completed on a SNAP/LE core."""
+
+    kind = "instruction"
+
+    pc: int
+    mnemonic: str
+    instr_class: str
+    handler: str
+    energy: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class HandlerDispatch(TraceEvent):
+    """The core popped an event token and jumped to its handler."""
+
+    kind = "dispatch"
+
+    event: str
+    handler: str
+    latency: float
+
+
+@dataclass(frozen=True)
+class SleepEnter(TraceEvent):
+    """The core found the event queue empty and went to sleep."""
+
+    kind = "sleep"
+
+
+@dataclass(frozen=True)
+class Wakeup(TraceEvent):
+    """An event token woke the sleeping core."""
+
+    kind = "wakeup"
+
+    idle: float
+
+
+@dataclass(frozen=True)
+class EventEnqueued(TraceEvent):
+    """A token entered the hardware event queue."""
+
+    kind = "enqueue"
+
+    event: str
+    depth: int
+
+
+@dataclass(frozen=True)
+class EventDropped(TraceEvent):
+    """A token arrived at a full event queue and was dropped."""
+
+    kind = "drop"
+
+    event: str
+
+
+@dataclass(frozen=True)
+class CoprocessorCommand(TraceEvent):
+    """The core pushed a command word to the message coprocessor."""
+
+    kind = "command"
+
+    command: str
+    word: int
+
+
+@dataclass(frozen=True)
+class RadioTx(TraceEvent):
+    """A radio finished serializing one 16-bit word onto the air."""
+
+    kind = "radio_tx"
+
+    word: int
+
+
+@dataclass(frozen=True)
+class RadioRx(TraceEvent):
+    """A radio received one clean 16-bit word."""
+
+    kind = "radio_rx"
+
+    word: int
+
+
+@dataclass(frozen=True)
+class RadioDrop(TraceEvent):
+    """A word reached a radio but was not delivered."""
+
+    kind = "radio_drop"
+
+    word: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class EnergySample(TraceEvent):
+    """A point-in-time snapshot of a core's cumulative energy."""
+
+    kind = "energy"
+
+    energy: float
+    instructions: int
+
+
+#: Every concrete event class, keyed by wire name.
+EVENT_KINDS = {cls.kind: cls for cls in (
+    InstructionRetired, HandlerDispatch, SleepEnter, Wakeup,
+    EventEnqueued, EventDropped, CoprocessorCommand,
+    RadioTx, RadioRx, RadioDrop, EnergySample)}

@@ -1,0 +1,115 @@
+"""A lightweight metrics registry: counters, gauges, and histograms.
+
+Metric names are dotted paths (``node0.cpu.instructions``,
+``channel.collisions``).  Instruments are get-or-create: asking the
+registry for an existing name returns the same object, so call sites can
+cache the instrument once and skip the dict lookup on the hot path.
+
+:meth:`MetricsRegistry.snapshot` renders everything to plain Python
+values for JSON dumps and report tables.
+"""
+
+from collections import OrderedDict
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, mode, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+
+class Histogram:
+    """Running summary statistics of an observed distribution."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self):
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._metrics = OrderedDict()
+
+    def counter(self, name):
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge)
+
+    def histogram(self, name):
+        return self._get(name, Histogram)
+
+    def _get(self, name, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError("metric %r is a %s, not a %s"
+                            % (name, type(metric).__name__, factory.__name__))
+        return metric
+
+    def __contains__(self, name):
+        return name in self._metrics
+
+    def __len__(self):
+        return len(self._metrics)
+
+    def names(self):
+        return list(self._metrics)
+
+    def snapshot(self):
+        """Every metric as a plain value (histograms as summary dicts)."""
+        result = OrderedDict()
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                result[name] = metric.summary()
+            else:
+                result[name] = metric.value
+        return result

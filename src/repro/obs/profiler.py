@@ -1,0 +1,145 @@
+"""Per-handler and per-PC profiling, layered on the trace bus.
+
+The :class:`Profiler` is a trace-bus sink: it consumes
+``InstructionRetired`` and ``HandlerDispatch`` events and accumulates
+
+* per-handler time, energy, instruction count, and invocation count
+  (the software view of the paper's Table 1), and
+* per-PC hot spots (count, time, energy) for finding the expensive
+  instructions inside a handler.
+
+Because it sums the same per-instruction energies the
+:class:`~repro.energy.accounting.EnergyMeter` records, its totals
+reconcile with the meter's instruction energy exactly (the meter's
+*total* additionally includes wakeup, event-token, and idle leakage
+energy, which are not per-instruction costs).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HandlerProfile:
+    """Accumulated cost of one handler tag."""
+
+    tag: str
+    invocations: int = 0
+    instructions: int = 0
+    energy: float = 0.0
+    time: float = 0.0
+    dispatch_latency: float = 0.0
+
+    @property
+    def energy_per_invocation(self):
+        return self.energy / self.invocations if self.invocations else 0.0
+
+    @property
+    def instructions_per_invocation(self):
+        return self.instructions / self.invocations if self.invocations else 0.0
+
+
+@dataclass
+class PcProfile:
+    """Accumulated cost of one program-counter location."""
+
+    pc: int
+    count: int = 0
+    energy: float = 0.0
+    time: float = 0.0
+    mnemonic: str = ""
+
+
+class Profiler:
+    """A trace-bus sink that attributes time and energy."""
+
+    def __init__(self):
+        self.by_handler = {}
+        self.by_pc = {}
+        self.instructions = 0
+        self.energy = 0.0
+        self.time = 0.0
+
+    # -- the sink interface ---------------------------------------------------
+
+    def __call__(self, event):
+        kind = event.kind
+        if kind == "instruction":
+            self._instruction(event)
+        elif kind == "dispatch":
+            self._dispatch(event)
+
+    def _instruction(self, event):
+        self.instructions += 1
+        self.energy += event.energy
+        self.time += event.duration
+
+        handler = self.by_handler.get(event.handler)
+        if handler is None:
+            handler = self.by_handler[event.handler] = HandlerProfile(
+                event.handler)
+        handler.instructions += 1
+        handler.energy += event.energy
+        handler.time += event.duration
+
+        spot = self.by_pc.get(event.pc)
+        if spot is None:
+            spot = self.by_pc[event.pc] = PcProfile(
+                event.pc, mnemonic=event.mnemonic)
+        spot.count += 1
+        spot.energy += event.energy
+        spot.time += event.duration
+
+    def _dispatch(self, event):
+        handler = self.by_handler.get(event.handler)
+        if handler is None:
+            handler = self.by_handler[event.handler] = HandlerProfile(
+                event.handler)
+        handler.invocations += 1
+        handler.dispatch_latency += event.latency
+
+    # -- queries --------------------------------------------------------------
+
+    def hotspots(self, top=10):
+        """The *top* PCs by energy, hottest first."""
+        spots = sorted(self.by_pc.values(), key=lambda s: -s.energy)
+        return spots[:top]
+
+    def handler_profiles(self):
+        """Handler profiles sorted by total energy, hottest first."""
+        return sorted(self.by_handler.values(), key=lambda h: -h.energy)
+
+    def reconcile(self, meter):
+        """Compare this profile against an :class:`EnergyMeter`.
+
+        Returns ``(profiled_energy, meter_instruction_energy)`` -- the
+        meter's total minus its non-instruction costs (wakeup, event
+        tokens, idle leakage).  The two agree to float tolerance when the
+        profiler observed the whole run.
+        """
+        meter_instruction_energy = (meter.total_energy
+                                    - meter.wakeup_energy
+                                    - meter.event_token_energy
+                                    - meter.idle_energy)
+        return self.energy, meter_instruction_energy
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self, top=10):
+        """A human-readable profile: handlers, then PC hot spots."""
+        lines = ["profile: %d instructions, %.3f nJ, %.6f s busy"
+                 % (self.instructions, self.energy * 1e9, self.time)]
+        lines.append("-- handlers (by energy) --")
+        for handler in self.handler_profiles():
+            lines.append(
+                "  %-12s %6d runs %8d ins %10.3f nJ %10.6f s"
+                % (handler.tag, handler.invocations, handler.instructions,
+                   handler.energy * 1e9, handler.time))
+        spots = self.hotspots(top)
+        if spots:
+            lines.append("-- hot PCs (top %d by energy) --" % len(spots))
+            for spot in spots:
+                lines.append(
+                    "  %04x %-18s %8d hits %10.3f nJ %10.6f s"
+                    % (spot.pc, spot.mnemonic, spot.count,
+                       spot.energy * 1e9, spot.time))
+        return "\n".join(lines)

@@ -43,6 +43,9 @@ class Channel:
         self.collisions = 0
         self.words_carried = 0
         self.noise_corruptions = 0
+        #: Optional :class:`~repro.obs.Observability` context; ``None``
+        #: disables all instrumentation.
+        self.obs = None
 
     def join(self, radio, position=None):
         """Attach a radio to the medium."""
@@ -73,6 +76,8 @@ class Channel:
         self._recent.append((radio, start, end))
         self._gc(end)
         self.words_carried += 1
+        if self.obs is not None:
+            self.obs.channel_word()
         for receiver in self._radios:
             if receiver is radio or not self.in_range(radio, receiver):
                 continue
@@ -81,9 +86,13 @@ class Channel:
             if corrupted:
                 # A collision garbles the word beyond any coding layer.
                 self.collisions += 1
+                if self.obs is not None:
+                    self.obs.channel_collision()
             elif (self.bit_error_rate
                   and self._rng.random_sample() < self.bit_error_rate):
                 self.noise_corruptions += 1
+                if self.obs is not None:
+                    self.obs.channel_noise()
                 if self.corruption == CORRUPTION_FLIP:
                     # Channel noise flips one bit; the receiver cannot
                     # tell -- detection is the coding layer's job.

@@ -59,6 +59,9 @@ class Radio:
         self.tx_time = 0.0
         self.rx_time = 0.0
         self._rx_since = None
+        #: Optional :class:`~repro.obs.Observability` context; ``None``
+        #: disables all instrumentation.
+        self.obs = None
 
     # -- control ---------------------------------------------------------
 
@@ -121,6 +124,9 @@ class Radio:
         self._tx_busy = False
         self.words_sent += 1
         self.tx_time += self.config.word_duration
+        if self.obs is not None:
+            self.obs.radio_tx(self.name, self.kernel.now, word,
+                              len(self._tx_queue))
         if self.channel is not None:
             self.channel.end_transmission(self, word, start, self.kernel.now)
         if self._tx_queue:
@@ -140,11 +146,19 @@ class Radio:
         """Called by the channel when a word arrives at this radio."""
         if self.mode != RadioMode.RX:
             self.words_dropped += 1
+            if self.obs is not None:
+                self.obs.radio_drop(self.name, self.kernel.now, word,
+                                    "not_listening")
             return
         if corrupted:
             self.words_dropped += 1
+            if self.obs is not None:
+                self.obs.radio_drop(self.name, self.kernel.now, word,
+                                    "corrupted")
             return
         self.words_received += 1
+        if self.obs is not None:
+            self.obs.radio_rx(self.name, self.kernel.now, word)
         if self.on_word_received is not None:
             self.on_word_received(word)
 

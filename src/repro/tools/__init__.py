@@ -3,10 +3,11 @@ interactive debugger for programs running on the simulated core.
 
 Command-line usage (module form)::
 
-    python -m repro.tools.snap_as  program.s -o program.hex
-    python -m repro.tools.snap_dis program.hex
-    python -m repro.tools.snap_cc  app.c -o app.s
-    python -m repro.tools.snap_run program.s --voltage 0.6 --until 1e-3
+    python -m repro.tools.snap_as   program.s -o program.hex
+    python -m repro.tools.snap_dis  program.hex
+    python -m repro.tools.snap_cc   app.c -o app.s
+    python -m repro.tools.snap_run  program.s --voltage 0.6 --until 1e-3
+    python -m repro.tools.snap_prof program.s --jsonl t.jsonl --chrome t.json
 """
 
 from repro.tools.debugger import Debugger

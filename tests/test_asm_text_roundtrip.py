@@ -1,0 +1,113 @@
+"""Property-based assemble -> disassemble -> assemble round-trips.
+
+``Instruction.text()`` is the disassembler's output syntax; feeding it
+back through the assembler must reproduce the original encoding for
+every opcode format (N, R, B, RI, J).
+
+Canonicalization: a handful of forms drop an operand field in their
+rendered syntax -- single-operand R ops (``rand``, ``seed``, ``cancel``,
+``jr``, ``jalr``) print only ``rd``, and the implicit-``rs`` immediate
+ops (``movi``, ``addi``, ``subi``, ``andi``, ``ori``, ``xori``) print
+``rd, imm``.  Those fields are architecturally zero in assembled code,
+so the strategy generates them as zero; everything else ranges freely.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm import assemble
+from repro.isa import Instruction, Opcode, decode, encode
+from repro.isa.instruction import BRANCH_OFFSET_MAX, BRANCH_OFFSET_MIN
+from repro.isa.opcodes import Format, all_specs
+
+#: Opcodes whose canonical syntax omits ``rs`` (it assembles as zero).
+IMPLICIT_RS = {
+    Opcode.RAND, Opcode.SEED, Opcode.CANCEL, Opcode.JR, Opcode.JALR,
+    Opcode.MOVI, Opcode.ADDI, Opcode.SUBI, Opcode.ANDI, Opcode.ORI,
+    Opcode.XORI,
+}
+
+
+@st.composite
+def canonical_instruction(draw):
+    spec = draw(st.sampled_from(all_specs()))
+    opcode, fmt = spec.opcode, spec.format
+    if fmt == Format.N:
+        return Instruction(opcode)
+    if fmt == Format.R:
+        rd = draw(st.integers(0, 15))
+        rs = 0 if opcode in IMPLICIT_RS else draw(st.integers(0, 15))
+        return Instruction(opcode, rd=rd, rs=rs)
+    if fmt == Format.B:
+        return Instruction(
+            opcode, rs=draw(st.integers(0, 15)),
+            imm=draw(st.integers(BRANCH_OFFSET_MIN, BRANCH_OFFSET_MAX)))
+    if fmt == Format.RI:
+        rd = draw(st.integers(0, 15))
+        rs = 0 if opcode in IMPLICIT_RS else draw(st.integers(0, 15))
+        return Instruction(opcode, rd=rd, rs=rs,
+                           imm=draw(st.integers(0, 0xFFFF)))
+    return Instruction(opcode, imm=draw(st.integers(0, 0xFFFF)))
+
+
+def roundtrip(instruction):
+    """text -> assemble -> words; words -> decode -> instruction."""
+    module = assemble(instruction.text() + "\n", name="roundtrip")
+    decoded, size = decode(module.text)
+    return module.text, decoded, size
+
+
+class TestTextRoundTrip:
+    @given(instruction=canonical_instruction())
+    def test_text_assembles_to_identical_words(self, instruction):
+        words = encode(instruction)
+        assembled, decoded, size = roundtrip(instruction)
+        assert assembled == words
+        assert size == len(words) == instruction.size
+        assert decoded == instruction
+        # Second lap is a fixed point.
+        assert roundtrip(decoded)[0] == words
+
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.mnemonic)
+    def test_every_opcode_text_round_trips(self, spec):
+        fmt = spec.format
+        rs = 0 if spec.opcode in IMPLICIT_RS else 5
+        if fmt == Format.N:
+            instruction = Instruction(spec.opcode)
+        elif fmt == Format.R:
+            instruction = Instruction(spec.opcode, rd=3, rs=rs)
+        elif fmt == Format.B:
+            instruction = Instruction(spec.opcode, rs=5, imm=-7)
+        elif fmt == Format.RI:
+            instruction = Instruction(spec.opcode, rd=3, rs=rs, imm=0x1234)
+        else:
+            instruction = Instruction(spec.opcode, imm=0x0456)
+        assembled, decoded, _ = roundtrip(instruction)
+        assert assembled == encode(instruction)
+        assert decoded == instruction
+
+    def test_branch_offset_extremes(self):
+        for offset in (BRANCH_OFFSET_MIN, -1, 0, 1, BRANCH_OFFSET_MAX):
+            instruction = Instruction(Opcode.BNEZ, rs=2, imm=offset)
+            _, decoded, _ = roundtrip(instruction)
+            assert decoded.imm == offset
+
+    def test_jump_address_extremes(self):
+        for address in (0, 1, 0x7FFF, 0xFFFF):
+            instruction = Instruction(Opcode.JMP, imm=address)
+            _, decoded, _ = roundtrip(instruction)
+            assert decoded.imm == address
+
+    def test_multi_instruction_listing_round_trips(self):
+        program = [
+            Instruction(Opcode.MOVI, rd=1, rs=0, imm=7),
+            Instruction(Opcode.ADD, rd=1, rs=1),
+            Instruction(Opcode.SLL, rd=1, rs=2),
+            Instruction(Opcode.BNEZ, rs=1, imm=-2),
+            Instruction(Opcode.LD, rd=3, rs=0, imm=16),
+            Instruction(Opcode.DONE),
+        ]
+        listing = "\n".join(i.text() for i in program) + "\n"
+        module = assemble(listing, name="listing")
+        expected = [word for i in program for word in encode(i)]
+        assert module.text == expected

@@ -1,6 +1,9 @@
 """Tests for the benchmark harness itself: workload generators, scenario
 runners, platform table, and reporting."""
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.asm import build
@@ -14,7 +17,7 @@ from repro.bench.harness import (
     throughput_and_wakeup,
 )
 from repro.bench.platforms import LITERATURE_ROWS
-from repro.bench.reporting import ratio_note
+from repro.bench.reporting import dump_results, ratio_note
 from repro.bench.workloads import (
     FIGURE4_CLASSES,
     class_program,
@@ -128,3 +131,33 @@ class TestReporting:
     def test_ratio_note(self):
         assert ratio_note(110, 100) == "1.10x of paper"
         assert ratio_note(1, 0) == "n/a"
+
+
+class TestDumpResults:
+    def test_skipped_without_results_dir(self, monkeypatch):
+        monkeypatch.delenv("BENCH_RESULTS_DIR", raising=False)
+        assert dump_results("nothing", {"a": 1}) is None
+
+    def test_writes_results_and_metrics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_RESULTS_DIR", str(tmp_path))
+        path = dump_results("demo", {"values": [1, 2.5, "x"]},
+                            metrics={"node0.cpu.instructions": 42})
+        assert path == str(tmp_path / "BENCH_demo.json")
+        payload = json.loads((tmp_path / "BENCH_demo.json").read_text())
+        assert payload["benchmark"] == "demo"
+        assert payload["results"]["values"] == [1, 2.5, "x"]
+        assert payload["metrics"]["node0.cpu.instructions"] == 42
+
+    def test_dataclasses_converted_field_by_field(self, tmp_path):
+        @dataclasses.dataclass
+        class Row:
+            name: str
+            energy: float
+
+        path = dump_results("rows", {"rows": [Row("boot", 1e-9)],
+                                     1.8: "non-string key"},
+                            directory=str(tmp_path))
+        payload = json.loads(open(path).read())
+        assert payload["results"]["rows"] == [
+            {"name": "boot", "energy": 1e-9}]
+        assert payload["results"]["1.8"] == "non-string key"

@@ -115,6 +115,26 @@ class TestNetworkSimulator:
         with pytest.raises(ValueError):
             net.add_node(0)
 
+    def test_passive_sniffer_stays_unstarted(self):
+        net = NetworkSimulator()
+        net.add_node(0, program=build(SENDER))
+        sniffer = net.add_node(1)  # joined to the channel, no program
+        net.run(until=0.05)
+        assert not sniffer.loaded
+        assert sniffer.processor.mode.value == "reset"
+        assert sniffer.meter.instructions == 0
+
+    def test_network_total_energy_includes_radio_when_asked(self):
+        net = NetworkSimulator()
+        net.add_node(0, program=build(SENDER))
+        net.add_node(1, program=build(RECEIVER))
+        net.run(until=0.05)
+        with_radio = net.total_energy(include_radio=True)
+        assert with_radio > net.total_energy()
+        assert with_radio == pytest.approx(sum(
+            node.total_energy(include_radio=True)
+            for node in net.nodes.values()))
+
     def test_network_energy_sums_nodes(self):
         net = NetworkSimulator()
         net.add_node(0, program=build(SENDER))

@@ -1,0 +1,186 @@
+"""Unit tests for the observability layer: metrics registry, trace bus,
+sinks and exporters, and the batch-trimming Tracer."""
+
+import json
+
+import pytest
+
+from repro.asm import build
+from repro.core import CoreConfig, SnapProcessor
+from repro.core.trace import Tracer
+from repro.isa import Instruction, Opcode
+from repro.obs import (
+    EVENT_KINDS,
+    JsonlSink,
+    KindFilter,
+    MemorySink,
+    MetricsRegistry,
+    Observability,
+    TraceBus,
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.events import EventEnqueued, InstructionRetired
+
+
+def _instruction_event(time=1.5e-6, pc=4, energy=1e-12, duration=4e-8,
+                       handler="TIMER0"):
+    return InstructionRetired(
+        time=time, node="cpu", pc=pc, mnemonic="add r1, r2",
+        instr_class="Arith Reg", handler=handler, energy=energy,
+        duration=duration)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc()
+        registry.counter("a.count").inc(3)
+        registry.gauge("a.depth").set(7)
+        registry.gauge("a.depth").dec(2)
+        registry.histogram("a.latency").observe(2.0)
+        registry.histogram("a.latency").observe(4.0)
+
+        snapshot = registry.snapshot()
+        assert snapshot["a.count"] == 4
+        assert snapshot["a.depth"] == 5
+        assert snapshot["a.latency"]["count"] == 2
+        assert snapshot["a.latency"]["mean"] == pytest.approx(3.0)
+        assert snapshot["a.latency"]["min"] == 2.0
+        assert snapshot["a.latency"]["max"] == 4.0
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert "x" in registry
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        json.dumps(registry.snapshot())
+
+
+class TestTraceBus:
+    def test_fan_out_to_multiple_sinks(self):
+        bus = TraceBus()
+        first, second = bus.attach(MemorySink()), bus.attach(MemorySink())
+        bus.emit(_instruction_event())
+        assert len(first) == 1 and len(second) == 1
+
+    def test_detach(self):
+        bus = TraceBus()
+        sink = bus.attach(MemorySink())
+        bus.detach(sink)
+        bus.emit(_instruction_event())
+        assert len(sink) == 0
+
+    def test_memory_sink_ring_limit(self):
+        sink = MemorySink(limit=3)
+        for pc in range(10):
+            sink(_instruction_event(pc=pc))
+        assert len(sink) == 3
+        assert [record["pc"] for record in sink.records()] == [7, 8, 9]
+
+    def test_kind_filter(self):
+        sink = MemorySink()
+        filtered = KindFilter(["enqueue"], sink)
+        filtered(_instruction_event())
+        filtered(EventEnqueued(time=0.0, node="eq", event="SOFT", depth=1))
+        assert len(sink) == 1
+        assert sink.records()[0]["type"] == "enqueue"
+
+    def test_event_records_carry_kind_and_fields(self):
+        record = _instruction_event().to_record()
+        assert record["type"] == "instruction"
+        assert record["mnemonic"] == "add r1, r2"
+        assert set(EVENT_KINDS) >= {"instruction", "dispatch", "enqueue",
+                                    "drop", "radio_tx", "radio_rx",
+                                    "radio_drop", "command", "energy"}
+
+
+class TestJsonlAndChrome:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink(_instruction_event(pc=1))
+            sink(_instruction_event(pc=2))
+        records = read_jsonl(str(path))
+        assert [r["pc"] for r in records] == [1, 2]
+        assert sink.count == 2
+
+    def test_jsonl_ignores_writes_after_close(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "trace.jsonl"))
+        sink.close()
+        sink(_instruction_event())
+        assert sink.count == 0
+
+    def test_chrome_trace_shapes(self, tmp_path):
+        events = [_instruction_event(),
+                  EventEnqueued(time=1e-6, node="eq", event="SOFT", depth=2)]
+        entries = chrome_trace(events)
+        slice_entry, instant_entry = entries
+        assert slice_entry["ph"] == "X"
+        assert slice_entry["dur"] > 0
+        assert slice_entry["args"]["pc"] == "0x0004"
+        assert instant_entry["ph"] == "i"
+        assert instant_entry["args"]["event"] == "SOFT"
+
+        path = tmp_path / "trace.json"
+        write_chrome_trace(events, str(path))
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 2
+
+
+class TestTracerTrimming:
+    def _feed(self, tracer, count):
+        nop = Instruction(Opcode.NOP)
+        for index in range(count):
+            tracer(None, index * 1e-6, index, nop)
+
+    def test_keeps_exactly_limit_entries(self):
+        tracer = Tracer(limit=5)
+        self._feed(tracer, 23)
+        assert len(tracer.entries) == 5
+        assert [entry[1] for entry in tracer.entries] == [18, 19, 20, 21, 22]
+        assert len(tracer) == 5
+
+    def test_internal_buffer_is_bounded_by_twice_the_limit(self):
+        tracer = Tracer(limit=4)
+        nop = Instruction(Opcode.NOP)
+        for index in range(100):
+            tracer(None, 0.0, index, nop)
+            assert len(tracer._entries) < 2 * tracer.limit
+        assert len(tracer.entries) == 4
+
+    def test_under_limit_keeps_everything(self):
+        tracer = Tracer(limit=100)
+        self._feed(tracer, 7)
+        assert len(tracer.entries) == 7
+
+    def test_format_last(self):
+        tracer = Tracer(limit=10)
+        self._feed(tracer, 3)
+        assert tracer.format(last=1).count("\n") == 0
+        assert "nop" in tracer.format()
+
+    def test_traced_run_respects_limit(self):
+        tracer = Tracer(limit=2)
+        processor = SnapProcessor(config=CoreConfig(voltage=1.8,
+                                                    trace_fn=tracer))
+        processor.load(build("movi r1, 2\nadd r1, r1\nadd r1, r1\nhalt\n"))
+        processor.run()
+        assert len(tracer.entries) == 2
+        assert tracer.entries[-1][2] == "halt"
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(limit=0)

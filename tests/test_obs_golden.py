@@ -1,0 +1,194 @@
+"""Golden-trace regression tests.
+
+Two canonical workloads -- the blink handler and a one-word packet
+receive -- are run under the trace bus, reduced to their *stable* fields
+(event types, ordering, PCs, mnemonics, handler tags, queue depths,
+radio words; no floats), and compared against checked-in goldens under
+``tests/goldens/``.
+
+A change to the decode/dispatch/radio pipeline that reorders or reshapes
+the event stream fails these tests.  If the change is intentional,
+regenerate with::
+
+    PYTHONPATH=src python tests/test_obs_golden.py --regen
+"""
+
+import json
+import os
+
+from repro.asm import build
+from repro.core import CoreConfig
+from repro.network import NetworkSimulator
+from repro.node import SensorNode
+from repro.obs import MemorySink, Observability
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+#: Per-kind fields that must stay stable across runs and refactors.
+#: Times, energies, durations, and latencies are deliberately excluded:
+#: goldens pin structure and ordering, not the energy model's floats.
+STABLE_FIELDS = {
+    "instruction": ("node", "pc", "mnemonic", "handler"),
+    "dispatch": ("node", "event", "handler"),
+    "sleep": ("node",),
+    "wakeup": ("node",),
+    "enqueue": ("node", "event", "depth"),
+    "drop": ("node", "event"),
+    "command": ("node", "command"),
+    "radio_tx": ("node", "word"),
+    "radio_rx": ("node", "word"),
+    "radio_drop": ("node", "word", "reason"),
+    "energy": ("node", "instructions"),
+}
+
+BLINK = """
+boot:
+    movi r1, 0
+    movi r2, handler
+    setaddr r1, r2
+    movi r1, 0
+    movi r2, 100
+    schedlo r1, r2
+    done
+handler:
+    ld r3, 0(r0)
+    xori r3, 1
+    st r3, 0(r0)
+    movi r4, 0x4000
+    or r4, r3
+    mov r15, r4          ; write LED port
+    movi r1, 0
+    movi r2, 100
+    schedlo r1, r2
+    done
+"""
+
+SENDER = """
+boot:
+    movi r1, 4           ; RADIO_TX_DONE -> ignore handler
+    movi r2, idle
+    setaddr r1, r2
+    movi r15, 0x2000     ; TX command
+    movi r15, 0x1234     ; data word
+    done
+idle:
+    done
+"""
+
+RECEIVER = """
+boot:
+    movi r1, 3           ; RADIO_RX event
+    movi r2, on_word
+    setaddr r1, r2
+    movi r15, 0x1000     ; RX command
+    done
+on_word:
+    mov r3, r15
+    st r3, 0(r0)
+    done
+"""
+
+
+def stable_trace(events):
+    """Reduce trace events to their golden (float-free) projection."""
+    reduced = []
+    for event in events:
+        record = event.to_record()
+        stable = {"type": event.kind}
+        for name in STABLE_FIELDS[event.kind]:
+            stable[name] = record[name]
+        reduced.append(stable)
+    return reduced
+
+
+def blink_trace():
+    """Boot plus two timer-handler invocations on a single node."""
+    obs = Observability()
+    sink = obs.bus.attach(MemorySink())
+    node = SensorNode(config=CoreConfig(voltage=0.6))
+    node.load(build(BLINK))
+    node.attach_observability(obs)
+    node.run(until=0.00025)
+    return stable_trace(sink.events)
+
+
+def packet_receive_trace():
+    """One word sent over the air between two nodes."""
+    obs = Observability()
+    sink = obs.bus.attach(MemorySink())
+    net = NetworkSimulator()
+    net.attach_observability(obs)
+    net.add_node(0, program=build(SENDER))
+    net.add_node(1, program=build(RECEIVER))
+    net.run(until=0.05)
+    return stable_trace(sink.events)
+
+
+GOLDENS = {
+    "blink_trace.json": blink_trace,
+    "packet_receive_trace.json": packet_receive_trace,
+}
+
+
+def _load(name):
+    with open(os.path.join(GOLDEN_DIR, name)) as handle:
+        return json.load(handle)
+
+
+def _diff_message(name, expected, actual):
+    lines = ["golden %s: %d events expected, %d produced"
+             % (name, len(expected), len(actual))]
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            lines.append("first mismatch at event %d:" % index)
+            lines.append("  expected %r" % (want,))
+            lines.append("  actual   %r" % (got,))
+            break
+    lines.append("if intentional: PYTHONPATH=src python %s --regen"
+                 % os.path.relpath(__file__))
+    return "\n".join(lines)
+
+
+class TestGoldenTraces:
+    def test_blink_trace_matches_golden(self):
+        expected, actual = _load("blink_trace.json"), blink_trace()
+        assert actual == expected, \
+            _diff_message("blink_trace.json", expected, actual)
+
+    def test_packet_receive_trace_matches_golden(self):
+        expected = _load("packet_receive_trace.json")
+        actual = packet_receive_trace()
+        assert actual == expected, \
+            _diff_message("packet_receive_trace.json", expected, actual)
+
+    def test_goldens_have_expected_shape(self):
+        blink = _load("blink_trace.json")
+        kinds = [record["type"] for record in blink]
+        assert kinds.count("dispatch") >= 2      # two timer-handler runs
+        assert "sleep" in kinds and "wakeup" in kinds
+        assert not any("time" in record or "energy" in record
+                       for record in blink), "goldens must stay float-free"
+
+        packet = _load("packet_receive_trace.json")
+        kinds = [record["type"] for record in packet]
+        assert "radio_tx" in kinds and "radio_rx" in kinds
+        assert kinds.index("radio_tx") < kinds.index("radio_rx")
+
+
+def regen():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name, produce in GOLDENS.items():
+        path = os.path.join(GOLDEN_DIR, name)
+        trace = produce()
+        with open(path, "w") as handle:
+            json.dump(trace, handle, indent=1)
+            handle.write("\n")
+        print("wrote %s (%d events)" % (path, len(trace)))
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        regen()
+    else:
+        print(__doc__)

@@ -9,6 +9,7 @@ from repro.tools.hexfile import dump_program, load_words
 from repro.tools.snap_as import main as as_main
 from repro.tools.snap_cc import main as cc_main
 from repro.tools.snap_dis import main as dis_main
+from repro.tools.snap_prof import main as prof_main
 from repro.tools.snap_run import main as run_main
 
 SAMPLE_ASM = """
@@ -108,6 +109,56 @@ class TestCliTools:
         assert run_main([str(source_path),
                          "--max-instructions", "1000"]) == 1
         assert "budget" in capsys.readouterr().err
+
+
+class TestSnapProf:
+    def _source(self, tmp_path):
+        source_path = tmp_path / "prog.s"
+        source_path.write_text(SAMPLE_ASM)
+        return str(source_path)
+
+    def test_profile_smoke(self, tmp_path, capsys):
+        assert prof_main([self._source(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "attribution  :" in output
+        assert "-- handlers (by energy) --" in output
+        assert "boot" in output
+        assert "-- hot PCs" in output
+
+    def test_trace_exports(self, tmp_path, capsys):
+        import json
+
+        jsonl_path = tmp_path / "trace.jsonl"
+        chrome_path = tmp_path / "trace.json"
+        assert prof_main([self._source(tmp_path),
+                          "--jsonl", str(jsonl_path),
+                          "--chrome", str(chrome_path),
+                          "--metrics", "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "jsonl trace" in output and "chrome trace" in output
+
+        lines = [json.loads(line)
+                 for line in jsonl_path.read_text().splitlines()]
+        assert lines, "jsonl trace must not be empty"
+        assert lines[-1]["type"] == "energy"  # final cumulative sample
+        assert any(record["type"] == "instruction" for record in lines)
+
+        chrome = json.loads(chrome_path.read_text())
+        assert len(chrome["traceEvents"]) == len(lines)
+        assert any(entry["ph"] == "X" for entry in chrome["traceEvents"])
+
+        # The metrics snapshot is printed as JSON and counts what ran.
+        snapshot_text = output[output.index("{"):output.rindex("}") + 1]
+        snapshot = json.loads(snapshot_text)
+        instructions = sum(1 for record in lines
+                           if record["type"] == "instruction")
+        assert snapshot["snap.instructions"] == instructions
+
+    def test_bad_input_reports_error(self, tmp_path, capsys):
+        source_path = tmp_path / "bad.s"
+        source_path.write_text("bogus r1, r2\n")
+        assert prof_main([str(source_path)]) == 1
+        assert "snap-prof" in capsys.readouterr().err
 
 
 class TestDebugger:
