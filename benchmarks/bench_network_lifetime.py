@@ -17,7 +17,8 @@ from repro.network.experiments import convergecast, lifetime_comparison
 
 
 def run_experiment():
-    result = convergecast(chain_length=4, period_s=0.1, duration_s=10.0)
+    result = convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
+                          sample_every=0.5)
     comparison = lifetime_comparison(result, battery_j=2000.0)
     return result, comparison
 
@@ -39,12 +40,23 @@ def test_convergecast_lifetime(benchmark):
           % (comparison.snap_lifetime_s / 3.15e7,
              comparison.mote_lifetime_s / 3.15e7, comparison.ratio))
 
-    # With BENCH_RESULTS_DIR set, persist the numbers plus the full
-    # network metrics snapshot (per-node counters, channel statistics).
+    # With BENCH_RESULTS_DIR set, persist the numbers, the full network
+    # metrics snapshot (per-node counters, channel statistics), and the
+    # per-node energy drain time-series.
     dump_results("network_lifetime",
                  {"nodes": result.nodes, "comparison": comparison,
-                  "sink_deliveries": result.sink_deliveries},
+                  "sink_deliveries": result.sink_deliveries,
+                  "drain": result.drain},
                  metrics=result.metrics)
+
+    # The drain curve covers the whole run for every node and is
+    # monotonically non-decreasing (cumulative energy).
+    node_ids = sorted(result.nodes)
+    for node_id in node_ids:
+        curve = [row for row in result.drain if row["node"] == node_id]
+        assert len(curve) >= 20
+        energies = [row["energy_j"] for row in curve]
+        assert energies == sorted(energies)
 
     # The workload actually ran: every reporter's samples reached the
     # sink (3 reporters x ~99 periods).

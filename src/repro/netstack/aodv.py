@@ -23,7 +23,11 @@ the application layer to export ``app_deliver``.
 """
 
 from repro.netstack.layout import (
+    ADDR_BROADCAST,
     FWD_COUNT_ADDR,
+    PKT_TYPE_DATA,
+    PKT_TYPE_RREP,
+    PKT_TYPE_RREQ,
     REBROADCAST_COUNT_ADDR,
     RREP_COUNT_ADDR,
     equates,
@@ -42,6 +46,74 @@ def read_aodv_counters(dmem):
     """Harvest the routing layer's DMEM counters from data memory."""
     return {name: dmem.peek(address)
             for name, address in AODV_COUNTER_CELLS.items()}
+
+
+#: Wire names of the routing layer's packet types, for trace rendering.
+PACKET_KIND_NAMES = {
+    PKT_TYPE_DATA: "data",
+    PKT_TYPE_RREQ: "rreq",
+    PKT_TYPE_RREP: "rrep",
+}
+
+
+def journey_key(packet):
+    """The hop-invariant identity of an AODV packet, or ``None``.
+
+    Every hop rewrites the MAC-level ``src``/``dst`` header words (and
+    rebroadcast/relay hops bump the hop counter riding in the payload),
+    so an end-to-end journey must be keyed on what *survives*
+    forwarding:
+
+    * DATA -- the sequence number, the final destination in
+      ``payload[0]``, and the payload body (copied verbatim by
+      ``aodv_forward``);
+    * RREQ -- the flood's (origin, seq) pair, exactly the identity the
+      guest's own duplicate-suppression table uses;
+    * RREP -- the (replier, origin, seq) triple (``seq`` echoes the
+      request's sequence number).
+
+    Used by :class:`repro.obs.spans.JourneyTracker` to stitch the
+    per-hop transmissions it reconstructs into one journey tree.
+    """
+    payload = packet["payload"]
+    kind = packet["type"]
+    if kind == PKT_TYPE_DATA and payload:
+        return ("data", packet["seq"], payload[0], tuple(payload[1:]))
+    if kind == PKT_TYPE_RREQ and len(payload) >= 2:
+        return ("rreq", payload[1], packet["seq"])
+    if kind == PKT_TYPE_RREP and len(payload) >= 3:
+        return ("rrep", payload[0], payload[2], packet["seq"])
+    return None
+
+
+def journey_destination(packet):
+    """The node id at which this packet's journey terminates, or ``None``.
+
+    DATA travels to ``payload[0]``; an RREQ flood is answered by its
+    target (``payload[0]``); an RREP is consumed by the RREQ origin it
+    relays back to (``payload[2]``).
+    """
+    payload = packet["payload"]
+    kind = packet["type"]
+    if kind == PKT_TYPE_DATA and payload:
+        return payload[0]
+    if kind == PKT_TYPE_RREQ and payload:
+        return payload[0]
+    if kind == PKT_TYPE_RREP and len(payload) >= 3:
+        return payload[2]
+    return None
+
+
+def is_no_route_forward(packet):
+    """Does this transmission betray a failed route lookup?
+
+    ``aodv_forward`` writes ``rt_lookup``'s result straight into the
+    MAC destination; a miss returns 0xFFFF, so a *DATA* packet sent to
+    the broadcast address means the sender had no route toward
+    ``payload[0]`` (legitimate broadcasts are RREQ floods only).
+    """
+    return (packet["type"] == PKT_TYPE_DATA
+            and packet["dst"] == ADDR_BROADCAST)
 
 
 def aodv_source():

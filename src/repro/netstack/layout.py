@@ -119,6 +119,28 @@ def parse_packet(words):
     }
 
 
+def inspect_packet(words):
+    """Lenient :func:`parse_packet` for observers of possibly-corrupted
+    word streams: never raises, reports checksum validity instead.
+
+    Returns ``None`` when *words* is too short to carry a header;
+    otherwise a dict with the header fields, the payload (truncated to
+    the words actually present), and ``checksum_ok``.
+    """
+    if len(words) < PKT_HEADER_WORDS + 1:
+        return None
+    body, check = words[:-1], words[-1]
+    length = body[PKT_LEN]
+    return {
+        "dst": body[PKT_DST],
+        "src": body[PKT_SRC],
+        "type": body[PKT_TYPE],
+        "seq": body[PKT_SEQ],
+        "payload": body[PKT_HEADER_WORDS:PKT_HEADER_WORDS + length],
+        "checksum_ok": checksum(body) == check,
+    }
+
+
 def equates():
     """Assembly ``.equ`` block shared by every netstack module."""
     pairs = [

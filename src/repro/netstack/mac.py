@@ -19,11 +19,35 @@ The upper layer (routing or application) must export ``mac_rx_dispatch``.
 """
 
 from repro.netstack.layout import (
+    PKT_HEADER_WORDS,
+    PKT_LEN,
     RX_BAD_ADDR,
     RX_COUNT_ADDR,
     TX_COUNT_ADDR,
     equates,
 )
+
+#: The MAC's packet buffers are 32 words; ``mac_rx_handler`` treats any
+#: frame claiming more as a desynchronized word stream and resets.
+MAX_FRAME_WORDS = 32
+
+
+def frame_total_words(words):
+    """The MAC's framing rule, mirrored for Python-side observers.
+
+    Given the words of a frame seen so far (in order), returns the total
+    frame length in words (header + payload + checksum) once the
+    header's LEN word has arrived, or ``None`` while the length is still
+    unknown.  Implausible lengths (frames that would overflow the
+    32-word packet buffers) return ``None`` as well -- exactly the
+    condition under which ``mac_rx_handler`` resynchronizes.
+    """
+    if len(words) <= PKT_LEN:
+        return None
+    total = PKT_HEADER_WORDS + words[PKT_LEN] + 1
+    if total > MAX_FRAME_WORDS:
+        return None
+    return total
 
 #: DMEM cells where the MAC assembly keeps its packet counters, by
 #: metric name.  The Python-side observability layer harvests these into

@@ -74,6 +74,20 @@ def read_reliable_counters(dmem):
             for name, address in RELIABLE_COUNTER_CELLS.items()}
 
 
+def ack_journey_key(packet):
+    """Journey identity of a reliable-MAC acknowledgment, or ``None``.
+
+    ACKs are single-hop: the receiver unicasts them straight back, so
+    (receiver, original sender, acknowledged seq) pins one ACK flight.
+    Retransmitted DATA triggers a fresh ACK with the same key; the
+    journey tracker folds those into one journey, which is exactly the
+    protocol's view (any one of them settles the retransmission timer).
+    """
+    if packet["type"] != PKT_TYPE_ACK:
+        return None
+    return ("ack", packet["src"], packet["dst"], packet["seq"])
+
+
 def reliable_source(timeout_ticks=RETRY_TIMEOUT_TICKS,
                     max_retries=MAX_RETRIES):
     header = equates() + """

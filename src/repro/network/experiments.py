@@ -47,6 +47,10 @@ class ConvergecastResult:
     #: Full :meth:`NetworkSimulator.snapshot` taken at the end of the
     #: run -- per-node and channel counters for bench JSON dumps.
     metrics: dict = None
+    #: Energy drain time-series (list of timeline rows, one per
+    #: sample tick and node) when the run was sampled; see
+    #: :data:`repro.obs.timeline.TIMELINE_FIELDS`.
+    drain: list = None
 
     @property
     def hottest_node(self):
@@ -66,12 +70,17 @@ class ConvergecastResult:
 
 
 def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
-                 voltage=0.6, seed=0):
+                 voltage=0.6, seed=0, sample_every=None):
     """Run a convergecast chain: node N .. node 2 report to node 1.
 
     Nodes sit on a line with radio range one hop; every non-sink node
     samples its temperature sensor each *period_s* and sends the reading
     toward the sink, relaying neighbours' traffic on the way.
+
+    With *sample_every* set, an energy-timeline sampler snapshots every
+    node on that period and the result carries the drain time-series in
+    its ``drain`` field (the sampler only reads state, so the sampled
+    run is bit-identical to an unsampled one).
     """
     config = CoreConfig(voltage=voltage)
     net = NetworkSimulator(comm_range=1.5)
@@ -109,7 +118,13 @@ def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
         stagger = int(period_ticks * (1 + offset) / (count + 1))
         node.processor.timer.schedlo(0, period_ticks + stagger)
 
+    sampler = None
+    if sample_every:
+        sampler = net.timeline_sampler(sample_every)
+
     net.run(until=duration_s)
+    if sampler is not None:
+        sampler.sample()  # final aligned row at the end of the run
 
     reports = {}
     all_nodes = dict(reporters)
@@ -129,7 +144,8 @@ def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
         sink_deliveries=sink.processor.dmem.peek(THRESH_COUNT),
         nodes=reports,
         channel_collisions=net.channel.collisions,
-        metrics=net.snapshot())
+        metrics=net.snapshot(),
+        drain=sampler.rows if sampler is not None else None)
 
 
 @dataclass

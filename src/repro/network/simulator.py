@@ -41,6 +41,20 @@ class NetworkSimulator:
             node.attach_observability(obs)
         return self
 
+    def timeline_sampler(self, interval, start=True, first_delay=None):
+        """Create (and by default start) an energy-timeline sampler
+        covering every node of this network.
+
+        Returns the :class:`~repro.obs.timeline.TimelineSampler`; the
+        sampler emits on the attached observability context, if any.
+        """
+        from repro.obs.timeline import TimelineSampler
+
+        sampler = TimelineSampler.for_network(self, interval, obs=self.obs)
+        if start:
+            sampler.start(first_delay=first_delay)
+        return sampler
+
     def start(self):
         """Start every loaded node's processor.
 

@@ -77,6 +77,7 @@ class SensorNode:
         """Instrument the whole node (core, queue, coprocessor, radio)."""
         self.processor.attach_observability(obs)
         self.radio.obs = obs
+        obs.register_node(self)
         return self
 
     def metrics_snapshot(self, include_netstack=None):

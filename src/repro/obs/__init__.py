@@ -36,9 +36,10 @@ from repro.obs.bus import (
     write_chrome_trace,
 )
 from repro.obs.context import Observability
-from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.events import EVENT_KINDS, PacketSpan, TimelineSample, TraceEvent
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import HandlerProfile, PcProfile, Profiler
+from repro.obs.timeline import TimelineSampler
 
 __all__ = [
     "Observability",
@@ -51,6 +52,8 @@ __all__ = [
     "read_jsonl",
     "EVENT_KINDS",
     "TraceEvent",
+    "PacketSpan",
+    "TimelineSample",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -58,4 +61,5 @@ __all__ = [
     "Profiler",
     "HandlerProfile",
     "PcProfile",
+    "TimelineSampler",
 ]

@@ -70,8 +70,12 @@ class KindFilter:
 
 
 class JsonlSink:
-    """Stream events to *path* as JSON Lines; use as a context manager or
-    call :meth:`close` when done."""
+    """Stream events to *path* as JSON Lines.
+
+    Use as a context manager (``with JsonlSink(path) as sink: ...``) so
+    buffered trail events are flushed and the handle closed even when
+    the surrounding run raises; otherwise call :meth:`close` when done.
+    """
 
     def __init__(self, path):
         self.path = path
@@ -85,10 +89,20 @@ class JsonlSink:
         self._handle.write("\n")
         self.count += 1
 
+    def flush(self):
+        """Push buffered lines to the OS without closing the sink."""
+        if self._handle is not None:
+            self._handle.flush()
+
     def close(self):
         if self._handle is not None:
+            self._handle.flush()
             self._handle.close()
             self._handle = None
+
+    @property
+    def closed(self):
+        return self._handle is None
 
     def __enter__(self):
         return self
@@ -115,10 +129,19 @@ def chrome_trace(events, time_scale=CHROME_TIME_SCALE):
     """Convert trace events to Chrome Trace Event Format entries.
 
     Instructions become complete ("X") slices on their node's track;
-    everything else becomes an instant ("i") event.  Load the resulting
-    JSON in ``chrome://tracing`` or https://ui.perfetto.dev.
+    packet-journey spans become slices tied together across node tracks
+    by *flow events* (one flow id per journey, so a multi-hop packet
+    renders as arrows hopping between nodes); timeline samples become
+    counter ("C") tracks; everything else becomes an instant ("i")
+    event.  Load the resulting JSON in ``chrome://tracing`` or
+    https://ui.perfetto.dev.
     """
     entries = []
+    #: Span events per journey, in input order, for flow termination.
+    journeys = {}
+    spans = [event for event in events if event.kind == "span"]
+    for event in spans:
+        journeys.setdefault(event.journey, []).append(event)
     for event in events:
         timestamp = event.time * time_scale
         record = event.to_record()
@@ -133,6 +156,44 @@ def chrome_trace(events, time_scale=CHROME_TIME_SCALE):
                 "tid": record["handler"],
                 "args": {"pc": "0x%04x" % record["pc"],
                          "energy_pJ": record["energy"] * 1e12},
+            })
+        elif event.kind == "span":
+            name = "%s %s" % (event.op, event.pkt)
+            args = {"journey": event.journey, "span": event.span,
+                    "src": event.src, "dst": event.dst, "seq": event.seq,
+                    "words": event.words,
+                    "energy_nJ": event.energy * 1e9}
+            if event.reason:
+                args["reason"] = event.reason
+            slice_entry = {
+                "name": name, "cat": "journey", "ph": "X",
+                "ts": timestamp, "dur": event.duration * time_scale,
+                "pid": event.node, "tid": "net", "args": args,
+            }
+            entries.append(slice_entry)
+            # One flow per journey: starts at the first span, steps
+            # through intermediate spans, finishes at the last one.
+            chain = journeys[event.journey]
+            if event is chain[0]:
+                phase = "s"
+            elif event is chain[-1]:
+                phase = "f"
+            else:
+                phase = "t"
+            flow = {
+                "name": "journey-%d" % event.journey, "cat": "journey",
+                "ph": phase, "id": event.journey,
+                "ts": timestamp, "pid": event.node, "tid": "net",
+            }
+            if phase == "f":
+                flow["bp"] = "e"   # bind to the enclosing slice
+            entries.append(flow)
+        elif event.kind == "timeline":
+            entries.append({
+                "name": "energy_nJ", "cat": "timeline", "ph": "C",
+                "ts": timestamp, "pid": event.node,
+                "args": {"cpu": event.cpu_energy * 1e9,
+                         "radio": event.radio_energy * 1e9},
             })
         else:
             args = {key: value for key, value in record.items()

@@ -21,10 +21,12 @@ from repro.obs.events import (
     EventEnqueued,
     HandlerDispatch,
     InstructionRetired,
+    PacketSpan,
     RadioDrop,
     RadioRx,
     RadioTx,
     SleepEnter,
+    TimelineSample,
     Wakeup,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -32,14 +34,22 @@ from repro.obs.profiler import Profiler
 
 
 class Observability:
-    """Bundles the trace bus, metrics registry, and optional profiler."""
+    """Bundles the trace bus, metrics registry, optional profiler, and
+    optional packet-journey tracker."""
 
-    def __init__(self, bus=None, metrics=None, profile=False):
+    def __init__(self, bus=None, metrics=None, profile=False, journeys=False):
         self.bus = bus if bus is not None else TraceBus()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = None
         if profile:
             self.profiler = self.bus.attach(Profiler())
+        self.journeys = None
+        if journeys:
+            # Imported lazily: the tracker pulls in the netstack's
+            # protocol helpers, which plain metric/profile users of this
+            # module do not need.
+            from repro.obs.spans import JourneyTracker
+            self.journeys = JourneyTracker(self)
 
     def observe(self, target):
         """Attach this context to any instrumentable *target*.
@@ -50,6 +60,17 @@ class Observability:
         """
         target.attach_observability(self)
         return target
+
+    def register_node(self, node):
+        """Record a node's identity for journey reconstruction.
+
+        Called by :meth:`SensorNode.attach_observability`; maps the
+        node's radio to its id, name, and radio physics so the journey
+        tracker can label spans and attribute per-hop energy.
+        """
+        if self.journeys is not None:
+            self.journeys.register(node.node_id, node.name, node.radio.name,
+                                   node.radio.config)
 
     # -- processor hooks ------------------------------------------------------
 
@@ -108,6 +129,8 @@ class Observability:
         self.metrics.counter(node + ".tx_words").inc()
         self.metrics.gauge(node + ".tx_queue_depth").set(queue_depth)
         self.bus.emit(RadioTx(time=time, node=node, word=word))
+        if self.journeys is not None:
+            self.journeys.radio_tx(node, time, word)
 
     def radio_rx(self, node, time, word):
         self.metrics.counter(node + ".rx_words").inc()
@@ -127,3 +150,38 @@ class Observability:
 
     def channel_noise(self):
         self.metrics.counter("channel.noise_corruptions").inc()
+
+    def channel_delivery(self, sender, receiver, time, word, outcome):
+        """The channel resolved one word at one receiver (*outcome* is
+        ``ok``, ``flipped``, ``collision``, ``noise``, or
+        ``not_listening``).  Feeds journey reconstruction only."""
+        if self.journeys is not None:
+            self.journeys.channel_delivery(sender, receiver, time, word,
+                                           outcome)
+
+    def channel_word_done(self, sender, time):
+        """The channel finished fanning one of *sender*'s words out to
+        every in-range receiver."""
+        if self.journeys is not None:
+            self.journeys.word_done(sender, time)
+
+    # -- journey and timeline events ------------------------------------------
+
+    def packet_span(self, span):
+        """Emit one reconstructed journey span (see
+        :mod:`repro.obs.spans`) onto the bus."""
+        self.bus.emit(PacketSpan(
+            time=span.time, node=span.node, journey=span.journey,
+            span=span.span, parent=span.parent, op=span.op, pkt=span.pkt,
+            src=span.src, dst=span.dst, seq=span.seq, words=span.words,
+            duration=span.duration, energy=span.energy, reason=span.reason))
+
+    def timeline_sample(self, node, time, energy, cpu_energy, radio_energy,
+                        radio_mode, duty_tx, duty_rx, queue_depth,
+                        instructions):
+        self.metrics.gauge(node + ".timeline.energy_j").set(energy)
+        self.bus.emit(TimelineSample(
+            time=time, node=node, energy=energy, cpu_energy=cpu_energy,
+            radio_energy=radio_energy, radio_mode=radio_mode,
+            duty_tx=duty_tx, duty_rx=duty_rx, queue_depth=queue_depth,
+            instructions=instructions))

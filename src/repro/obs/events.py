@@ -140,8 +140,57 @@ class EnergySample(TraceEvent):
     instructions: int
 
 
+@dataclass(frozen=True)
+class PacketSpan(TraceEvent):
+    """One span of a packet journey (see :mod:`repro.obs.spans`).
+
+    Spans are linked into per-journey trees: *journey* identifies the
+    end-to-end packet flow, *span* this node of the tree, and *parent*
+    the span it hangs under (``None`` for a journey root).  *op* is one
+    of ``send``, ``forward``, ``air``, ``receive``, ``overhear``,
+    ``deliver``, or ``drop``; *reason* is set only for drops.
+    """
+
+    kind = "span"
+
+    journey: int
+    span: int
+    parent: "int | None"
+    op: str
+    pkt: str
+    src: int
+    dst: int
+    seq: int
+    words: int
+    duration: float
+    energy: float
+    reason: "str | None"
+
+
+@dataclass(frozen=True)
+class TimelineSample(TraceEvent):
+    """One node's slice of an aligned network energy timeline.
+
+    Emitted by the :class:`~repro.obs.timeline.TimelineSampler` for
+    every node at every sampling tick: cumulative energies (joules),
+    the radio's duty-cycle state, and the event-queue depth.
+    """
+
+    kind = "timeline"
+
+    energy: float
+    cpu_energy: float
+    radio_energy: float
+    radio_mode: str
+    duty_tx: float
+    duty_rx: float
+    queue_depth: int
+    instructions: int
+
+
 #: Every concrete event class, keyed by wire name.
 EVENT_KINDS = {cls.kind: cls for cls in (
     InstructionRetired, HandlerDispatch, SleepEnter, Wakeup,
     EventEnqueued, EventDropped, CoprocessorCommand,
-    RadioTx, RadioRx, RadioDrop, EnergySample)}
+    RadioTx, RadioRx, RadioDrop, EnergySample,
+    PacketSpan, TimelineSample)}

@@ -43,15 +43,32 @@ class Gauge:
 
 
 class Histogram:
-    """Running summary statistics of an observed distribution."""
+    """Running summary statistics plus quantiles of a distribution.
 
-    __slots__ = ("count", "total", "min", "max")
+    Alongside the O(1) running aggregates, the histogram retains a
+    bounded sample reservoir for :meth:`percentile`.  The reservoir is
+    deterministic: once it fills, every other retained sample is
+    discarded and the sampling stride doubles, so long runs keep an
+    evenly spaced subset of the stream rather than a random one --
+    repeated runs of the same simulation report identical quantiles.
+    """
 
-    def __init__(self):
+    __slots__ = ("count", "total", "min", "max", "_samples", "_stride",
+                 "_limit", "_phase")
+
+    #: Default reservoir capacity; plenty for per-hop latency tables
+    #: while keeping the worst-case footprint small.
+    SAMPLE_LIMIT = 4096
+
+    def __init__(self, sample_limit=SAMPLE_LIMIT):
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
+        self._samples = []
+        self._stride = 1
+        self._phase = 0
+        self._limit = sample_limit
 
     def observe(self, value):
         self.count += 1
@@ -60,14 +77,37 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if self._phase == 0:
+            self._samples.append(value)
+            if len(self._samples) >= self._limit:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+        self._phase = (self._phase + 1) % self._stride
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p):
+        """The *p*-th percentile (0..100), linearly interpolated over the
+        retained sample reservoir; ``None`` before any observation."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (min(max(p, 0.0), 100.0) / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        frac = rank - low
+        if low + 1 >= len(ordered):
+            return ordered[-1]
+        return ordered[low] * (1.0 - frac) + ordered[low + 1] * frac
+
     def summary(self):
         return {"count": self.count, "total": self.total,
-                "mean": self.mean, "min": self.min, "max": self.max}
+                "mean": self.mean, "min": self.min, "max": self.max,
+                "p50": self.percentile(50), "p90": self.percentile(90),
+                "p99": self.percentile(99)}
 
 
 class MetricsRegistry:

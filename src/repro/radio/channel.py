@@ -82,10 +82,12 @@ class Channel:
             if receiver is radio or not self.in_range(radio, receiver):
                 continue
             delivered = word
+            fate = "ok"
             corrupted = self._collided(radio, receiver, start, end)
             if corrupted:
                 # A collision garbles the word beyond any coding layer.
                 self.collisions += 1
+                fate = "collision"
                 if self.obs is not None:
                     self.obs.channel_collision()
             elif (self.bit_error_rate
@@ -97,9 +99,21 @@ class Channel:
                     # Channel noise flips one bit; the receiver cannot
                     # tell -- detection is the coding layer's job.
                     delivered = word ^ (1 << self._rng.randint(0, 16))
+                    fate = "flipped"
                 else:
                     corrupted = True
-            receiver.deliver(delivered, corrupted=corrupted)
+                    fate = "noise"
+            outcome = receiver.deliver(delivered, corrupted=corrupted)
+            if self.obs is not None:
+                # The receiver's own state trumps the channel's verdict:
+                # a radio that was not listening lost the word whatever
+                # the air did to it.
+                if outcome == "not_listening":
+                    fate = "not_listening"
+                self.obs.channel_delivery(radio.name, receiver.name, end,
+                                          delivered, fate)
+        if self.obs is not None:
+            self.obs.channel_word_done(radio.name, end)
 
     # -- internals ------------------------------------------------------------
 

@@ -143,24 +143,30 @@ class Radio:
     # -- receive path ----------------------------------------------------------
 
     def deliver(self, word, corrupted=False):
-        """Called by the channel when a word arrives at this radio."""
+        """Called by the channel when a word arrives at this radio.
+
+        Returns the delivery outcome (``"ok"``, ``"not_listening"``, or
+        ``"corrupted"``) so the channel can report the fate of each word
+        to the journey tracker.
+        """
         if self.mode != RadioMode.RX:
             self.words_dropped += 1
             if self.obs is not None:
                 self.obs.radio_drop(self.name, self.kernel.now, word,
                                     "not_listening")
-            return
+            return "not_listening"
         if corrupted:
             self.words_dropped += 1
             if self.obs is not None:
                 self.obs.radio_drop(self.name, self.kernel.now, word,
                                     "corrupted")
-            return
+            return "corrupted"
         self.words_received += 1
         if self.obs is not None:
             self.obs.radio_rx(self.name, self.kernel.now, word)
         if self.on_word_received is not None:
             self.on_word_received(word)
+        return "ok"
 
     # -- accounting ------------------------------------------------------------
 

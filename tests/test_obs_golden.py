@@ -18,9 +18,12 @@ import os
 
 from repro.asm import build
 from repro.core import CoreConfig
+from repro.netstack import layout
+from repro.netstack.drivers import build_aodv_node, build_tx_node
 from repro.network import NetworkSimulator
 from repro.node import SensorNode
-from repro.obs import MemorySink, Observability
+from repro.obs import KindFilter, MemorySink, Observability
+from repro.tools.snap_net_trace import stage_and_send
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
 
@@ -39,6 +42,8 @@ STABLE_FIELDS = {
     "radio_rx": ("node", "word"),
     "radio_drop": ("node", "word", "reason"),
     "energy": ("node", "instructions"),
+    "span": ("node", "journey", "span", "parent", "op", "pkt", "src",
+             "dst", "seq", "words", "reason"),
 }
 
 BLINK = """
@@ -124,9 +129,52 @@ def packet_receive_trace():
     return stable_trace(sink.events)
 
 
+def _journey_net(bit_error_rate=0.0, corruption="drop"):
+    """A two-node net (TX driver + AODV node) traced for journeys only."""
+    obs = Observability(journeys=True)
+    sink = MemorySink()
+    obs.bus.attach(KindFilter(("span",), sink))
+    net = NetworkSimulator(comm_range=1.5, bit_error_rate=bit_error_rate,
+                           corruption=corruption)
+    net.attach_observability(obs)
+    config = CoreConfig(voltage=0.6)
+    net.add_node(1, program=build_tx_node(1), position=(0.0, 0.0),
+                 config=config)
+    net.add_node(2, program=build_aodv_node(2), position=(1.0, 0.0),
+                 config=config)
+    net.run(until=0.01)
+    return net, obs, sink
+
+
+def journey_bit_error_trace():
+    """A DATA packet whose every word the channel corrupts: the journey
+    tree must end in a ``bit_error`` drop at the receiver."""
+    net, obs, sink = _journey_net(bit_error_rate=1.0, corruption="drop")
+    packet = layout.make_packet(dst=2, src=1, pkt_type=layout.PKT_TYPE_DATA,
+                                seq=0, payload=[2, 0x111, 0x222])
+    stage_and_send(net.nodes[1], packet)
+    net.run(until=net.kernel.now + 0.1)
+    obs.journeys.flush()
+    return stable_trace(sink.events)
+
+
+def journey_no_route_trace():
+    """A DATA packet for an unknown destination: the AODV relay's route
+    lookup misses and the journey tree records a ``no_route`` drop."""
+    net, obs, sink = _journey_net()
+    packet = layout.make_packet(dst=2, src=1, pkt_type=layout.PKT_TYPE_DATA,
+                                seq=0, payload=[0x7F, 0x111, 0x222])
+    stage_and_send(net.nodes[1], packet)
+    net.run(until=net.kernel.now + 0.1)
+    obs.journeys.flush()
+    return stable_trace(sink.events)
+
+
 GOLDENS = {
     "blink_trace.json": blink_trace,
     "packet_receive_trace.json": packet_receive_trace,
+    "journey_bit_error_trace.json": journey_bit_error_trace,
+    "journey_no_route_trace.json": journey_no_route_trace,
 }
 
 
@@ -173,6 +221,40 @@ class TestGoldenTraces:
         kinds = [record["type"] for record in packet]
         assert "radio_tx" in kinds and "radio_rx" in kinds
         assert kinds.index("radio_tx") < kinds.index("radio_rx")
+
+    def test_journey_bit_error_trace_matches_golden(self):
+        expected = _load("journey_bit_error_trace.json")
+        actual = journey_bit_error_trace()
+        assert actual == expected, \
+            _diff_message("journey_bit_error_trace.json", expected, actual)
+
+    def test_journey_no_route_trace_matches_golden(self):
+        expected = _load("journey_no_route_trace.json")
+        actual = journey_no_route_trace()
+        assert actual == expected, \
+            _diff_message("journey_no_route_trace.json", expected, actual)
+
+    def test_journey_goldens_record_drop_reasons(self):
+        bit_error = _load("journey_bit_error_trace.json")
+        assert all(record["type"] == "span" for record in bit_error)
+        ops = [record["op"] for record in bit_error]
+        assert "send" in ops and "air" in ops
+        drops = [record for record in bit_error if record["op"] == "drop"]
+        assert any(record["reason"] == "bit_error" for record in drops)
+        # Drop spans hang off the air span of the same journey tree.
+        spans = {record["span"]: record for record in bit_error}
+        for record in drops:
+            if record["reason"] != "bit_error":
+                continue
+            air = spans[record["parent"]]
+            assert air["op"] == "air"
+            assert air["journey"] == record["journey"]
+
+        no_route = _load("journey_no_route_trace.json")
+        ops = [record["op"] for record in no_route]
+        assert "receive" in ops and "forward" in ops
+        drops = [record for record in no_route if record["op"] == "drop"]
+        assert any(record["reason"] == "no_route" for record in drops)
 
 
 def regen():
