@@ -5,42 +5,32 @@ rare ones behind slow busses, "dramatically decreasing the amount of
 capacitance on the fast busses".  The ablation compares the default
 hierarchical calibration against a *flat* bus, where every unit sees
 the full bus capacitance (every transfer pays the slow-bus cost).
+
+The flat-bus calibration and the ablation runner live in
+:mod:`repro.bench.ablations` so the fidelity scorecard can regenerate
+the same measurements.
 """
 
-import dataclasses
+import time
 
 import pytest
 
-from repro.bench.harness import handler_table
-from repro.bench.reporting import format_table
-from repro.energy import DEFAULT_CALIBRATION, EnergyModel
-from repro.energy.calibration import Calibration
+from repro.bench.ablations import bus_ablation, flat_bus_calibration
+from repro.bench.reporting import dump_results, format_table
+from repro.energy import EnergyModel
 from repro.isa.opcodes import Opcode, spec_for
-
-
-def flat_bus_calibration():
-    """Every execution unit pays the long-bus energy: model a single
-    set of busses loaded by all ten units."""
-    extra = DEFAULT_CALIBRATION.slow_bus_pj
-    units = {unit: cost + extra
-             for unit, cost in DEFAULT_CALIBRATION.unit_pj.items()}
-    return dataclasses.replace(DEFAULT_CALIBRATION, unit_pj=units,
-                               slow_bus_pj=0.0)
-
-
-def run_ablation():
-    """Average handler-suite energy per instruction, both calibrations."""
-    hierarchical = handler_table(0.6)
-    flat_rows = handler_table(0.6, calibration=flat_bus_calibration())
-    h_epi = (sum(row.energy for row in hierarchical)
-             / sum(row.instructions for row in hierarchical))
-    f_epi = (sum(row.energy for row in flat_rows)
-             / sum(row.instructions for row in flat_rows))
-    return h_epi, f_epi
+from repro.obs import Observability
 
 
 def test_bus_hierarchy_ablation(benchmark):
-    h_epi, f_epi = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    results = benchmark.pedantic(bus_ablation, kwargs={"obs": obs},
+                                 rounds=1, iterations=1)
+    dump_results("ablation_bus", results, metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
+    h_epi = results["hierarchical_epi"]
+    f_epi = results["flat_epi"]
 
     rows = [
         ["hierarchical (paper design)", "%.1f" % (h_epi * 1e12)],

@@ -11,135 +11,26 @@ workload on the same SNAP/LE core twice:
   id into a DMEM task queue, and a TinyOS-style software scheduler loop
   drains and dispatches it through a jump table (what SNAP/LE would have
   to do without the paper's `done`/event-table hardware).
+
+The scenario assembly lives in :mod:`repro.bench.ablations` so the
+fidelity scorecard can regenerate the same measurements.
 """
 
-import pytest
+import time
 
-from repro.asm import build
-from repro.bench.reporting import format_table
-from repro.core import CoreConfig, SnapProcessor
-
-HW_BLINK = """
-boot:
-    movi r1, 0
-    movi r2, on_timer
-    setaddr r1, r2
-    jal arm
-    done
-arm:
-    movi r1, 0
-    movi r2, 100
-    schedlo r1, r2
-    ret
-on_timer:
-    jal blink
-    jal arm
-    done
-blink:
-    ld r3, 1(r0)
-    xori r3, 1
-    st r3, 1(r0)
-    movi r4, 0x4000
-    or r4, r3
-    mov r15, r4
-    ld r5, 2(r0)
-    addi r5, 1
-    st r5, 2(r0)
-    ret
-"""
-
-SW_BLINK = """
-    .equ TQ_BASE, 8
-boot:
-    movi r1, 0
-    movi r2, on_timer
-    setaddr r1, r2
-    st r0, 4(r0)        ; tq head
-    st r0, 5(r0)        ; tq tail
-    st r0, 6(r0)        ; tq count
-    jal arm
-    done
-arm:
-    movi r1, 0
-    movi r2, 100
-    schedlo r1, r2
-    ret
-
-; The timer handler only posts a task, then runs the scheduler loop --
-; the software-dispatch structure TinyOS imposes.
-on_timer:
-    ; post task id 1 (blink) into the queue
-    ld r3, 5(r0)        ; tail
-    movi r4, TQ_BASE
-    add r4, r3
-    movi r5, 1
-    st r5, 0(r4)
-    addi r3, 1
-    andi r3, 3
-    st r3, 5(r0)
-    ld r3, 6(r0)
-    addi r3, 1
-    st r3, 6(r0)
-    jal arm
-    ; scheduler loop: drain the task queue
-.sched:
-    ld r3, 6(r0)        ; count
-    beqz r3, .idle
-    ld r4, 4(r0)        ; head
-    movi r5, TQ_BASE
-    add r5, r4
-    ld r6, 0(r5)        ; task id
-    addi r4, 1
-    andi r4, 3
-    st r4, 4(r0)
-    subi r3, 1
-    st r3, 6(r0)
-    ; dispatch through a jump table
-    movi r7, task_table
-    add r7, r6
-    ldi r7, 0(r7)       ; read the handler address from IMEM
-    jalr r7
-    jmp .sched
-.idle:
-    done
-
-task_table:
-    .word 0
-    .word blink
-
-blink:
-    ld r3, 1(r0)
-    xori r3, 1
-    st r3, 1(r0)
-    movi r4, 0x4000
-    or r4, r3
-    mov r15, r4
-    ld r5, 2(r0)
-    addi r5, 1
-    st r5, 2(r0)
-    ret
-"""
-
-
-def _measure(source, iterations=20):
-    from repro.sensors import LedPort
-    processor = SnapProcessor(config=CoreConfig(voltage=0.6))
-    processor.mcp.attach_port(0, LedPort())
-    processor.load(build(source))
-    processor.run(until=50e-6)
-    processor.meter.reset()
-    processor.run(until=50e-6 + iterations * 100e-6 + 20e-6)
-    blinks = processor.dmem.peek(2)
-    meter = processor.meter
-    return (meter.instructions / blinks, meter.total_energy / blinks)
-
-
-def run_ablation():
-    return {"hardware": _measure(HW_BLINK), "software": _measure(SW_BLINK)}
+from repro.bench.ablations import eventqueue_ablation
+from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 
 def test_event_queue_ablation(benchmark):
-    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    results = benchmark.pedantic(eventqueue_ablation, kwargs={"obs": obs},
+                                 rounds=1, iterations=1)
+    dump_results("ablation_eventqueue", results,
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
     hw_ins, hw_energy = results["hardware"]
     sw_ins, sw_energy = results["software"]
 

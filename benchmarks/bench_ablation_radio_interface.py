@@ -10,97 +10,38 @@ on the same SNAP/LE core:
 * **bit interface** -- one event per *bit*; the handler shifts each bit
   into an assembly register and only runs the word path every 16 events
   (what the core would have to do if it serviced the radio pin itself).
+
+The scenario code lives in :mod:`repro.bench.ablations` so the fidelity
+scorecard can regenerate the same measurements.
 """
 
-import pytest
+import time
 
-from repro.asm import build
-from repro.bench.reporting import format_table
-from repro.core import CoreConfig, SnapProcessor
-from repro.isa.events import Event
-from repro.netstack import layout
-from repro.netstack.drivers import build_rx_node
-
-BIT_RX = """
-boot:
-    movi sp, 0x7C0
-    movi r1, 3
-    movi r2, bit_handler
-    setaddr r1, r2
-    movi r10, 0          ; bit count within the word
-    movi r11, 0          ; word accumulator
-    movi r12, 0x20       ; RX_BUF write pointer
-    done
-
-; One event per received bit: shift it in; every 16th bit, store the word.
-bit_handler:
-    mov r1, r15          ; the bit (0/1)
-    sll r11, 1
-    or r11, r1
-    addi r10, 1
-    movi r2, 16
-    sub r2, r10
-    beqz r2, .word_done
-    done
-.word_done:
-    st r11, 0(r12)
-    addi r12, 1
-    movi r10, 0
-    movi r11, 0
-    ld r3, 0(r0)         ; words received
-    addi r3, 1
-    st r3, 0(r0)
-    done
-"""
-
-PACKET = layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 1, [9, 0x123, 0x456])
-
-
-def _run_word_interface():
-    processor = SnapProcessor(config=CoreConfig(voltage=0.6))
-    from repro.radio import Radio
-    processor.mcp.attach_radio(Radio(processor.kernel))
-    processor.load(build_rx_node(2))
-    processor.run(until=1e-4)
-    processor.meter.reset()
-    for word in PACKET:
-        processor.mcp.radio_word_received(word)
-        processor.run(until=processor.kernel.now + 1e-4)
-    return processor.meter
-
-
-def _run_bit_interface():
-    processor = SnapProcessor(config=CoreConfig(voltage=0.6,
-                                                event_queue_capacity=32))
-    processor.load(build(BIT_RX))
-    processor.run(until=1e-4)
-    processor.meter.reset()
-    for word in PACKET:
-        for bit_index in range(15, -1, -1):
-            processor.mcp.radio_word_received((word >> bit_index) & 1)
-            processor.run(until=processor.kernel.now + 2e-5)
-    return processor.meter
-
-
-def run_ablation():
-    word_meter = _run_word_interface()
-    bit_meter = _run_bit_interface()
-    return word_meter, bit_meter
+from repro.bench.ablations import radio_interface_ablation
+from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 
 def test_radio_interface_ablation(benchmark):
-    word_meter, bit_meter = benchmark.pedantic(run_ablation,
-                                               rounds=1, iterations=1)
-    words = len(PACKET)
+    obs = Observability()
+    started = time.perf_counter()
+    results = benchmark.pedantic(radio_interface_ablation,
+                                 kwargs={"obs": obs},
+                                 rounds=1, iterations=1)
+    dump_results("ablation_radio_interface", results,
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
+    words = results["words"]
+    word, bit = results["word"], results["bit"]
     rows = [
         ["word events (message coprocessor)",
-         "%.0f" % (word_meter.instructions / words),
-         "%.2f" % (word_meter.total_energy / words * 1e9),
-         "%d" % word_meter.wakeups],
+         "%.0f" % (word["instructions"] / words),
+         "%.2f" % (word["energy_j"] / words * 1e9),
+         "%d" % word["wakeups"]],
         ["bit events (core does conversion)",
-         "%.0f" % (bit_meter.instructions / words),
-         "%.2f" % (bit_meter.total_energy / words * 1e9),
-         "%d" % bit_meter.wakeups],
+         "%.0f" % (bit["instructions"] / words),
+         "%.2f" % (bit["energy_j"] / words * 1e9),
+         "%d" % bit["wakeups"]],
     ]
     print()
     print(format_table(
@@ -109,6 +50,6 @@ def test_radio_interface_ablation(benchmark):
 
     # Bit-banging costs several times more instructions and energy per
     # received word, and one wakeup per bit instead of per word.
-    assert bit_meter.instructions > 3 * word_meter.instructions
-    assert bit_meter.total_energy > 3 * word_meter.total_energy
-    assert bit_meter.wakeups >= 10 * word_meter.wakeups
+    assert bit["instructions"] > 3 * word["instructions"]
+    assert bit["energy_j"] > 3 * word["energy_j"]
+    assert bit["wakeups"] >= 10 * word["wakeups"]

@@ -7,10 +7,13 @@ the core is about half of the per-instruction energy, the other half
 being memory access.
 """
 
+import time
+
 import pytest
 
 from repro.bench.harness import energy_breakdown
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 PAPER_FRACTIONS = {
     "datapath": 0.33,
@@ -22,8 +25,14 @@ PAPER_FRACTIONS = {
 
 
 def test_core_energy_distribution(benchmark):
+    obs = Observability()
+    started = time.perf_counter()
     result = benchmark.pedantic(energy_breakdown, args=(1.8,),
+                                kwargs={"obs": obs},
                                 rounds=1, iterations=1)
+    dump_results("energy_breakdown", result,
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
     fractions = result["core_fractions"]
 
     rows = [[bucket, "%.1f%%" % (100 * fractions[bucket]),

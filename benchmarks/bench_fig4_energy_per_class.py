@@ -6,8 +6,11 @@ three tiers: one-word register ops, two-word immediate ops, and memory
 operations.  This benchmark regenerates the figure's series.
 """
 
+import time
+
 from repro.bench.harness import VOLTAGES, instruction_class_energy
 from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 #: One-word, two-word, and memory tiers (the paper's three groups).
 TIER_ONE_WORD = ("Arith Reg", "Logical Reg", "Shift", "Branch")
@@ -15,13 +18,19 @@ TIER_TWO_WORD = ("Arith Imm", "Logical Imm", "Bitfield")
 TIER_MEMORY = ("Load", "Store")
 
 
-def run_figure4():
-    return {voltage: instruction_class_energy(voltage)
+def run_figure4(obs=None):
+    return {voltage: instruction_class_energy(voltage, obs=obs)
             for voltage in VOLTAGES}
 
 
 def test_fig4_energy_per_instruction_class(benchmark):
-    results = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    results = benchmark.pedantic(run_figure4, args=(obs,),
+                                 rounds=1, iterations=1)
+    dump_results("fig4_energy_per_class", results,
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
 
     classes = sorted(results[1.8])
     rows = [[name] + ["%.1f" % (results[v][name] * 1e12) for v in VOLTAGES]
@@ -30,7 +39,6 @@ def test_fig4_energy_per_instruction_class(benchmark):
     print(format_table(
         ["Instruction class"] + ["pJ/ins @%.1fV" % v for v in VOLTAGES],
         rows, title="Figure 4: energy per instruction type"))
-    dump_results("fig4_energy_per_class", results)
 
     at_18, at_06 = results[1.8], results[0.6]
 

@@ -6,16 +6,24 @@ costs 1960 nJ.  The SNAP version takes 41 cycles and 6.8 nJ at 1.8 V /
 0.5 nJ at 0.6 V.  Code size: 184 B (SNAP) vs 1.4 KB (TinyOS).
 """
 
+import time
+
 import pytest
 
 from repro.baseline import build_avr_blink
 from repro.bench.harness import blink_comparison
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
 from repro.netstack import build_blink_app
+from repro.obs import Observability
 
 
 def test_fig5_blink_comparison(benchmark):
-    result = benchmark.pedantic(blink_comparison, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    result = benchmark.pedantic(blink_comparison, kwargs={"obs": obs},
+                                rounds=1, iterations=1)
+    dump_results("fig5_blink", result, metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
 
     rows = [
         ["SNAP cycles/iteration", "%.0f" % result.snap_cycles, "41"],
@@ -52,7 +60,11 @@ def test_fig5_code_sizes(benchmark):
         return (build_blink_app().text_size_bytes,
                 build_avr_blink().size_bytes)
 
+    started = time.perf_counter()
     snap_bytes, avr_bytes = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    dump_results("fig5_code_size",
+                 {"snap_bytes": snap_bytes, "avr_bytes": avr_bytes},
+                 wall_time_s=time.perf_counter() - started)
     print("\nBlink code size: SNAP %dB (paper 184B), TinyOS-style %dB "
           "(paper ~1.4KB)" % (snap_bytes, avr_bytes))
     assert snap_bytes < 500

@@ -12,6 +12,8 @@ the same instruction stream.
 
 import pytest
 
+import time
+
 from repro.bench.reporting import dump_results, format_table
 from repro.network.experiments import convergecast, lifetime_comparison
 
@@ -24,8 +26,10 @@ def run_experiment():
 
 
 def test_convergecast_lifetime(benchmark):
+    started = time.perf_counter()
     result, comparison = benchmark.pedantic(run_experiment,
                                             rounds=1, iterations=1)
+    wall_time_s = time.perf_counter() - started
 
     rows = [[str(node_id), str(report.instructions),
              str(report.packets_sent), str(report.packets_forwarded),
@@ -47,7 +51,7 @@ def test_convergecast_lifetime(benchmark):
                  {"nodes": result.nodes, "comparison": comparison,
                   "sink_deliveries": result.sink_deliveries,
                   "drain": result.drain},
-                 metrics=result.metrics)
+                 metrics=result.metrics, wall_time_s=wall_time_s)
 
     # The drain curve covers the whole run for every node and is
     # monotonically non-decreasing (cumulative energy).

@@ -5,14 +5,22 @@ takes ~780 cycles in TinyOS (the ISR alone ~30%), versus 331 cycles on
 SNAP -- a 60% reduction, despite SNAP's unoptimized compiler.
 """
 
+import time
+
 import pytest
 
 from repro.bench.harness import radiostack_comparison
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 
 def test_radiostack_comparison(benchmark):
-    result = benchmark.pedantic(radiostack_comparison, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    result = benchmark.pedantic(radiostack_comparison, kwargs={"obs": obs},
+                                rounds=1, iterations=1)
+    dump_results("radiostack", result, metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
 
     rows = [
         ["SNAP cycles/byte", "%.0f" % result.snap_cycles, "331"],

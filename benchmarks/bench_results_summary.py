@@ -6,10 +6,13 @@ and 1.6-5.8 nJ at 0.6 V.  At less than ten events per second this is
 magnitude below a conventional microcontroller.
 """
 
+import time
+
 import pytest
 
 from repro.bench.harness import results_summary
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 PAPER = {
     1.8: {"energy_nj": (15.0, 55.0), "power_nw": (150.0, 550.0)},
@@ -17,12 +20,19 @@ PAPER = {
 }
 
 
-def run_summary():
-    return {voltage: results_summary(voltage) for voltage in (1.8, 0.6)}
+def run_summary(obs=None):
+    return {voltage: results_summary(voltage, obs=obs)
+            for voltage in (1.8, 0.6)}
 
 
 def test_results_summary(benchmark):
-    results = benchmark.pedantic(run_summary, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    results = benchmark.pedantic(run_summary, args=(obs,),
+                                 rounds=1, iterations=1)
+    dump_results("results_summary", results,
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
 
     rows = []
     for voltage, summary in sorted(results.items(), reverse=True):

@@ -5,14 +5,22 @@ mote, 781 of them (over 70%) in interrupt service and scheduler
 overhead; the SNAP version needs 261 cycles.
 """
 
+import time
+
 import pytest
 
 from repro.bench.harness import sense_comparison
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 
 def test_sense_comparison(benchmark):
-    result = benchmark.pedantic(sense_comparison, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    result = benchmark.pedantic(sense_comparison, kwargs={"obs": obs},
+                                rounds=1, iterations=1)
+    dump_results("sense", result, metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
 
     rows = [
         ["SNAP cycles/iteration", "%.0f" % result.snap_cycles, "261"],

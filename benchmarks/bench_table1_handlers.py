@@ -13,22 +13,32 @@ with energy per instruction ~215-219 pJ at 1.8 V, ~54-56 at 0.9 V, and
 ~23-24 at 0.6 V; total code size ~2.8 KB.
 """
 
+import time
+
 import pytest
 
 from repro.bench.harness import VOLTAGES, handler_table
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
 from repro.netstack import build_temperature_app
 from repro.netstack.drivers import build_aodv_node
+from repro.obs import Observability
 
 PAPER_EPI_PJ = {1.8: 217.0, 0.9: 54.8, 0.6: 23.8}
 
 
-def run_table1():
-    return {voltage: handler_table(voltage) for voltage in VOLTAGES}
+def run_table1(obs=None):
+    return {voltage: handler_table(voltage, obs=obs)
+            for voltage in VOLTAGES}
 
 
 def test_table1_handler_statistics(benchmark):
-    results = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    results = benchmark.pedantic(run_table1, args=(obs,),
+                                 rounds=1, iterations=1)
+    dump_results("table1_handlers", results,
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
 
     rows = []
     for index, row18 in enumerate(results[1.8]):
@@ -89,8 +99,13 @@ def test_code_size_near_paper(benchmark):
         return (build_aodv_node(1).text_size_bytes,
                 build_temperature_app().text_size_bytes)
 
+    started = time.perf_counter()
     network_bytes, temperature_bytes = benchmark.pedantic(
         sizes, rounds=1, iterations=1)
+    dump_results("table1_code_size",
+                 {"network_bytes": network_bytes,
+                  "temperature_bytes": temperature_bytes},
+                 wall_time_s=time.perf_counter() - started)
     total = network_bytes + temperature_bytes
     print("\nCode size: network node %dB + temperature app %dB = %dB "
           "(paper: ~2.8KB total)" % (network_bytes, temperature_bytes, total))

@@ -7,28 +7,37 @@ Paper: SNAP/LE ~24 pJ/ins at 28 MIPS (0.6 V) and ~218 pJ/ins at
 energy consumption of SNAP/LE at 0.6V".
 """
 
+import time
+
 import pytest
 
 from repro.bench.harness import handler_table, throughput_and_wakeup
 from repro.bench.platforms import platform_table
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 ATMEL_EPI = 1500e-12
 
 
-def measure_snap_points():
+def measure_snap_points(obs=None):
     points = {}
     for voltage in (0.6, 1.8):
-        rows = handler_table(voltage)
+        rows = handler_table(voltage, obs=obs)
         energy = sum(row.energy for row in rows)
         instructions = sum(row.instructions for row in rows)
-        mips = throughput_and_wakeup(voltage).mips
+        mips = throughput_and_wakeup(voltage, obs=obs).mips
         points[voltage] = (mips * 1e6, energy / instructions)
     return points
 
 
 def test_table2_platform_comparison(benchmark):
-    points = benchmark.pedantic(measure_snap_points, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    points = benchmark.pedantic(measure_snap_points, args=(obs,),
+                                rounds=1, iterations=1)
+    dump_results("table2_platforms", points,
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
     table = platform_table(snap_measurements=points)
 
     rows = [[row.name, "yes" if row.clocked else "no", row.speed_mips,

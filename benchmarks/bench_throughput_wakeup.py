@@ -5,6 +5,8 @@ Paper: 240 MIPS at 1.8 V, 61 at 0.9 V, 28 at 0.6 V; idle-to-active in
 4-65 ms wakeups.)
 """
 
+import time
+
 import pytest
 
 from repro.baseline.energy import (
@@ -12,18 +14,26 @@ from repro.baseline.energy import (
     WAKEUP_LATENCY_POWER_SAVE_S,
 )
 from repro.bench.harness import VOLTAGES, throughput_and_wakeup
-from repro.bench.reporting import format_table
+from repro.bench.reporting import dump_results, format_table
+from repro.obs import Observability
 
 PAPER_MIPS = {1.8: 240.0, 0.9: 61.0, 0.6: 28.0}
 PAPER_WAKEUP_NS = {1.8: 2.5, 0.9: 9.8, 0.6: 21.4}
 
 
-def run_all_voltages():
-    return {voltage: throughput_and_wakeup(voltage) for voltage in VOLTAGES}
+def run_all_voltages(obs=None):
+    return {voltage: throughput_and_wakeup(voltage, obs=obs)
+            for voltage in VOLTAGES}
 
 
 def test_throughput_and_wakeup_latency(benchmark):
-    results = benchmark.pedantic(run_all_voltages, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    results = benchmark.pedantic(run_all_voltages, args=(obs,),
+                                 rounds=1, iterations=1)
+    dump_results("throughput_wakeup", results,
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
 
     rows = []
     for voltage in VOLTAGES:

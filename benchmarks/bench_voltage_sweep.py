@@ -12,39 +12,23 @@ budget, which is why the paper cares about leakage estimates.
 
 import pytest
 
+import time
+
 from repro.asm import build
-from repro.bench.reporting import format_table
+from repro.bench.ablations import voltage_sweep
+from repro.bench.reporting import dump_results, format_table
 from repro.core import CoreConfig, SnapProcessor
-
-SWEEP_VOLTAGES = (0.45, 0.6, 0.75, 0.9, 1.2, 1.5, 1.8)
-
-LOOP = """
-    movi r2, 500
-.loop:
-    ld r3, 8(r0)
-    addi r3, 3
-    st r3, 8(r0)
-    subi r2, 1
-    bnez r2, .loop
-    halt
-"""
-
-
-def sweep():
-    results = []
-    program = build(LOOP)
-    for voltage in SWEEP_VOLTAGES:
-        processor = SnapProcessor(config=CoreConfig(voltage=voltage))
-        processor.load(program)
-        meter = processor.run()
-        epi = meter.energy_per_instruction
-        mips = meter.average_mips()
-        results.append((voltage, mips, epi, epi / (mips * 1e6)))
-    return results
+from repro.obs import Observability
 
 
 def test_voltage_sweep(benchmark):
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    obs = Observability()
+    started = time.perf_counter()
+    results = benchmark.pedantic(voltage_sweep, kwargs={"obs": obs},
+                                 rounds=1, iterations=1)
+    dump_results("voltage_sweep", {"sweep": results},
+                 metrics=obs.metrics.snapshot(),
+                 wall_time_s=time.perf_counter() - started)
 
     rows = [["%.2f" % v, "%.0f" % mips, "%.1f" % (epi * 1e12),
              "%.3g" % edp]

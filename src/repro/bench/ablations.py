@@ -1,0 +1,299 @@
+"""Ablation and sweep scenarios shared by the benchmark suite and the
+fidelity scorecard collector.
+
+Each function reproduces one of the paper's architectural arguments by
+running the same workload with and without the mechanism under study:
+
+* :func:`eventqueue_ablation` -- hardware event dispatch vs a
+  TinyOS-style software task queue on the same SNAP/LE core
+  (Sections 3.1, 4.6);
+* :func:`bus_ablation` -- the two-level bus hierarchy vs a flat bus
+  where every unit pays the long-bus capacitance (Section 3.1);
+* :func:`radio_interface_ablation` -- word-level message-coprocessor
+  delivery vs bit-by-bit servicing on the core (Section 3.3);
+* :func:`voltage_sweep` -- the energy/performance curve from 0.45 V to
+  1.8 V (the Section 6 "SNAP/LE-slow" future-work direction).
+
+These used to live inline in ``benchmarks/bench_ablation_*.py``; they
+moved here so ``snap-report`` can regenerate the same measurements
+without importing the pytest benchmark modules.
+"""
+
+import dataclasses
+
+from repro.asm import build
+from repro.core import CoreConfig, SnapProcessor
+from repro.energy import DEFAULT_CALIBRATION
+from repro.netstack import layout
+from repro.netstack.drivers import build_rx_node
+
+#: Voltages for :func:`voltage_sweep`, bracketing the published points.
+SWEEP_VOLTAGES = (0.45, 0.6, 0.75, 0.9, 1.2, 1.5, 1.8)
+
+SWEEP_LOOP = """
+    movi r2, 500
+.loop:
+    ld r3, 8(r0)
+    addi r3, 3
+    st r3, 8(r0)
+    subi r2, 1
+    bnez r2, .loop
+    halt
+"""
+
+HW_BLINK = """
+boot:
+    movi r1, 0
+    movi r2, on_timer
+    setaddr r1, r2
+    jal arm
+    done
+arm:
+    movi r1, 0
+    movi r2, 100
+    schedlo r1, r2
+    ret
+on_timer:
+    jal blink
+    jal arm
+    done
+blink:
+    ld r3, 1(r0)
+    xori r3, 1
+    st r3, 1(r0)
+    movi r4, 0x4000
+    or r4, r3
+    mov r15, r4
+    ld r5, 2(r0)
+    addi r5, 1
+    st r5, 2(r0)
+    ret
+"""
+
+SW_BLINK = """
+    .equ TQ_BASE, 8
+boot:
+    movi r1, 0
+    movi r2, on_timer
+    setaddr r1, r2
+    st r0, 4(r0)        ; tq head
+    st r0, 5(r0)        ; tq tail
+    st r0, 6(r0)        ; tq count
+    jal arm
+    done
+arm:
+    movi r1, 0
+    movi r2, 100
+    schedlo r1, r2
+    ret
+
+; The timer handler only posts a task, then runs the scheduler loop --
+; the software-dispatch structure TinyOS imposes.
+on_timer:
+    ; post task id 1 (blink) into the queue
+    ld r3, 5(r0)        ; tail
+    movi r4, TQ_BASE
+    add r4, r3
+    movi r5, 1
+    st r5, 0(r4)
+    addi r3, 1
+    andi r3, 3
+    st r3, 5(r0)
+    ld r3, 6(r0)
+    addi r3, 1
+    st r3, 6(r0)
+    jal arm
+    ; scheduler loop: drain the task queue
+.sched:
+    ld r3, 6(r0)        ; count
+    beqz r3, .idle
+    ld r4, 4(r0)        ; head
+    movi r5, TQ_BASE
+    add r5, r4
+    ld r6, 0(r5)        ; task id
+    addi r4, 1
+    andi r4, 3
+    st r4, 4(r0)
+    subi r3, 1
+    st r3, 6(r0)
+    ; dispatch through a jump table
+    movi r7, task_table
+    add r7, r6
+    ldi r7, 0(r7)       ; read the handler address from IMEM
+    jalr r7
+    jmp .sched
+.idle:
+    done
+
+task_table:
+    .word 0
+    .word blink
+
+blink:
+    ld r3, 1(r0)
+    xori r3, 1
+    st r3, 1(r0)
+    movi r4, 0x4000
+    or r4, r3
+    mov r15, r4
+    ld r5, 2(r0)
+    addi r5, 1
+    st r5, 2(r0)
+    ret
+"""
+
+BIT_RX = """
+boot:
+    movi sp, 0x7C0
+    movi r1, 3
+    movi r2, bit_handler
+    setaddr r1, r2
+    movi r10, 0          ; bit count within the word
+    movi r11, 0          ; word accumulator
+    movi r12, 0x20       ; RX_BUF write pointer
+    done
+
+; One event per received bit: shift it in; every 16th bit, store the word.
+bit_handler:
+    mov r1, r15          ; the bit (0/1)
+    sll r11, 1
+    or r11, r1
+    addi r10, 1
+    movi r2, 16
+    sub r2, r10
+    beqz r2, .word_done
+    done
+.word_done:
+    st r11, 0(r12)
+    addi r12, 1
+    movi r10, 0
+    movi r11, 0
+    ld r3, 0(r0)         ; words received
+    addi r3, 1
+    st r3, 0(r0)
+    done
+"""
+
+#: The packet both radio-interface variants receive.
+RADIO_ABLATION_PACKET = layout.make_packet(
+    2, 0, layout.PKT_TYPE_DATA, 1, [9, 0x123, 0x456])
+
+
+# -- hardware event queue vs software task scheduler ---------------------------
+
+
+def _measure_blink(source, iterations=20, obs=None):
+    from repro.sensors import LedPort
+    processor = SnapProcessor(config=CoreConfig(voltage=0.6))
+    if obs is not None:
+        processor.attach_observability(obs)
+    processor.mcp.attach_port(0, LedPort())
+    processor.load(build(source))
+    processor.run(until=50e-6)
+    processor.meter.reset()
+    processor.run(until=50e-6 + iterations * 100e-6 + 20e-6)
+    blinks = processor.dmem.peek(2)
+    meter = processor.meter
+    return (meter.instructions / blinks, meter.total_energy / blinks)
+
+
+def eventqueue_ablation(iterations=20, obs=None):
+    """Per-blink (instructions, energy) for hardware event dispatch vs a
+    software task scheduler on the same core."""
+    return {"hardware": _measure_blink(HW_BLINK, iterations, obs=obs),
+            "software": _measure_blink(SW_BLINK, iterations, obs=obs)}
+
+
+# -- two-level bus hierarchy vs a flat bus -------------------------------------
+
+
+def flat_bus_calibration():
+    """Every execution unit pays the long-bus energy: model a single
+    set of busses loaded by all ten units."""
+    extra = DEFAULT_CALIBRATION.slow_bus_pj
+    units = {unit: cost + extra
+             for unit, cost in DEFAULT_CALIBRATION.unit_pj.items()}
+    return dataclasses.replace(DEFAULT_CALIBRATION, unit_pj=units,
+                               slow_bus_pj=0.0)
+
+
+def bus_ablation(obs=None):
+    """Average handler-suite energy per instruction with the
+    hierarchical calibration and with a flat single bus; returns
+    ``{"hierarchical_epi": joules, "flat_epi": joules}``."""
+    from repro.bench.harness import handler_table
+    hierarchical = handler_table(0.6, obs=obs)
+    flat_rows = handler_table(0.6, calibration=flat_bus_calibration(),
+                              obs=obs)
+    h_epi = (sum(row.energy for row in hierarchical)
+             / sum(row.instructions for row in hierarchical))
+    f_epi = (sum(row.energy for row in flat_rows)
+             / sum(row.instructions for row in flat_rows))
+    return {"hierarchical_epi": h_epi, "flat_epi": f_epi}
+
+
+# -- word-level vs bit-level radio interface -----------------------------------
+
+
+def _run_word_interface(obs=None):
+    from repro.radio import Radio
+    processor = SnapProcessor(config=CoreConfig(voltage=0.6))
+    if obs is not None:
+        processor.attach_observability(obs)
+    processor.mcp.attach_radio(Radio(processor.kernel))
+    processor.load(build_rx_node(2))
+    processor.run(until=1e-4)
+    processor.meter.reset()
+    for word in RADIO_ABLATION_PACKET:
+        processor.mcp.radio_word_received(word)
+        processor.run(until=processor.kernel.now + 1e-4)
+    return processor.meter
+
+
+def _run_bit_interface(obs=None):
+    processor = SnapProcessor(config=CoreConfig(voltage=0.6,
+                                                event_queue_capacity=32))
+    if obs is not None:
+        processor.attach_observability(obs)
+    processor.load(build(BIT_RX))
+    processor.run(until=1e-4)
+    processor.meter.reset()
+    for word in RADIO_ABLATION_PACKET:
+        for bit_index in range(15, -1, -1):
+            processor.mcp.radio_word_received((word >> bit_index) & 1)
+            processor.run(until=processor.kernel.now + 2e-5)
+    return processor.meter
+
+
+def radio_interface_ablation(obs=None):
+    """Word-interface vs bit-interface meters for the same packet,
+    summarised per received word."""
+    word_meter = _run_word_interface(obs=obs)
+    bit_meter = _run_bit_interface(obs=obs)
+
+    def summary(meter):
+        return {"instructions": meter.instructions,
+                "energy_j": meter.total_energy,
+                "wakeups": meter.wakeups}
+
+    return {"words": len(RADIO_ABLATION_PACKET),
+            "word": summary(word_meter), "bit": summary(bit_meter)}
+
+
+# -- the voltage/energy/performance sweep --------------------------------------
+
+
+def voltage_sweep(obs=None):
+    """(voltage, MIPS, energy/ins, energy-delay) at each sweep point."""
+    results = []
+    program = build(SWEEP_LOOP)
+    for voltage in SWEEP_VOLTAGES:
+        processor = SnapProcessor(config=CoreConfig(voltage=voltage))
+        if obs is not None:
+            processor.attach_observability(obs)
+        processor.load(program)
+        meter = processor.run()
+        epi = meter.energy_per_instruction
+        mips = meter.average_mips()
+        results.append((voltage, mips, epi, epi / (mips * 1e6)))
+    return results

@@ -38,13 +38,15 @@ VOLTAGES = (1.8, 0.9, 0.6)
 # -- Figure 4: energy per instruction type ------------------------------------------
 
 
-def instruction_class_energy(voltage, seed=0):
+def instruction_class_energy(voltage, seed=0, obs=None):
     """Run the per-class microbenchmarks; returns
     ``{class_name: energy_per_instruction_joules}``."""
     results = {}
     for instr_class in FIGURE4_CLASSES:
         source, _ = class_program(instr_class, seed=seed)
         processor = SnapProcessor(config=CoreConfig(voltage=voltage))
+        if obs is not None:
+            processor.attach_observability(obs)
         processor.load(build(source))
         for register, value in random_register_values(seed).items():
             processor.regs.poke(register, value)
@@ -64,10 +66,10 @@ class ThroughputResult:
     wakeup_latency_s: float
 
 
-def throughput_and_wakeup(voltage):
+def throughput_and_wakeup(voltage, obs=None):
     """Average throughput over the handler benchmark suite, plus the
     idle-to-active latency, at one voltage."""
-    rows = handler_table(voltage)
+    rows = handler_table(voltage, obs=obs)
     instructions = sum(row.instructions for row in rows)
     busy = sum(row.busy_time for row in rows)
     processor = SnapProcessor(config=CoreConfig(voltage=voltage))
@@ -100,11 +102,13 @@ def _stage_packet(node, words):
 
 
 def _packet_scenario(receiver_builder, packet, setup=None, voltage=0.6,
-                     measure_sender=False, calibration=None):
+                     measure_sender=False, calibration=None, obs=None):
     """Boot a sender/receiver pair, deliver *packet*, return the meter of
     the measured node (receiver, or sender when *measure_sender*)."""
     config = _core_config(voltage, calibration)
     net = NetworkSimulator()
+    if obs is not None:
+        net.attach_observability(obs)
     sender = net.add_node(0, program=build_tx_node(0), config=config)
     receiver = net.add_node(2, program=receiver_builder(2), config=config)
     net.run(until=0.001)
@@ -124,8 +128,11 @@ def _core_config(voltage, calibration=None):
     return CoreConfig(voltage=voltage, calibration=calibration)
 
 
-def _temperature_scenario(voltage, iterations=10, calibration=None):
+def _temperature_scenario(voltage, iterations=10, calibration=None,
+                          obs=None):
     node = SensorNode(config=_core_config(voltage, calibration))
+    if obs is not None:
+        node.attach_observability(obs)
     node.attach_sensor(TemperatureSensor(seed=1), sensor_id=1)
     node.load(build_temperature_app(period_ticks=500))
     node.run(until=0.0004)
@@ -134,12 +141,14 @@ def _temperature_scenario(voltage, iterations=10, calibration=None):
     return node.meter, iterations
 
 
-def handler_table(voltage=0.6, calibration=None):
+def handler_table(voltage=0.6, calibration=None, obs=None):
     """Reproduce Table 1: the six software tasks with dynamic instruction
     counts and energy.
 
     *calibration* optionally overrides the energy calibration (used by
-    the bus-hierarchy ablation).
+    the bus-hierarchy ablation).  *obs* optionally attaches an
+    :class:`~repro.obs.Observability` context to every scenario so the
+    benchmark itself is observable (metrics snapshots in bench dumps).
     """
     rows = []
 
@@ -157,19 +166,20 @@ def handler_table(voltage=0.6, calibration=None):
     meter = _packet_scenario(
         build_rx_node,
         layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 1, data_payload),
-        voltage=voltage, measure_sender=True, calibration=calibration)
+        voltage=voltage, measure_sender=True, calibration=calibration,
+        obs=obs)
     add_row("Packet Transmission", 70, meter)
 
     meter = _packet_scenario(
         build_rx_node,
         layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 1, data_payload),
-        voltage=voltage, calibration=calibration)
+        voltage=voltage, calibration=calibration, obs=obs)
     add_row("Packet Reception", 103, meter)
 
     meter = _packet_scenario(
         build_aodv_node,
         layout.make_packet(2, 0, layout.PKT_TYPE_RREQ, 7, [2]),
-        voltage=voltage, calibration=calibration)
+        voltage=voltage, calibration=calibration, obs=obs)
     add_row("AODV Route Reply", 224, meter)
 
     def install_route(node):
@@ -180,17 +190,19 @@ def handler_table(voltage=0.6, calibration=None):
     meter = _packet_scenario(
         build_aodv_node,
         layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 3, [5, 0x111, 0x222]),
-        setup=install_route, voltage=voltage, calibration=calibration)
+        setup=install_route, voltage=voltage, calibration=calibration,
+        obs=obs)
     add_row("AODV Forward", 245, meter)
 
     meter, iterations = _temperature_scenario(voltage,
-                                               calibration=calibration)
+                                               calibration=calibration,
+                                               obs=obs)
     add_row("Temperature App", 140, meter, scale=iterations)
 
     meter = _packet_scenario(
         build_aodv_node,
         layout.make_packet(2, 0, layout.PKT_TYPE_DATA, 4, [2, 0x150, 0x250]),
-        voltage=voltage, calibration=calibration)
+        voltage=voltage, calibration=calibration, obs=obs)
     add_row("Threshold App", 155, meter)
 
     return rows
@@ -199,7 +211,7 @@ def handler_table(voltage=0.6, calibration=None):
 # -- Section 4.4: core energy distribution ---------------------------------------------------
 
 
-def energy_breakdown(voltage=1.8):
+def energy_breakdown(voltage=1.8, obs=None):
     """Run the full microbenchmark mix and return the Section 4.4 core
     energy distribution plus the memory share."""
     processor = SnapProcessor(config=CoreConfig(voltage=voltage))
@@ -207,6 +219,8 @@ def energy_breakdown(voltage=1.8):
     for instr_class in FIGURE4_CLASSES:
         source, _ = class_program(instr_class, seed=1)
         runner = SnapProcessor(config=CoreConfig(voltage=voltage))
+        if obs is not None:
+            runner.attach_observability(obs)
         runner.load(build(source))
         for register, value in random_register_values(1).items():
             runner.regs.poke(register, value)
@@ -237,8 +251,11 @@ class BlinkComparison:
     avr_energy: float       # joules per iteration
 
 
-def _snap_periodic_app(builder, voltage, iterations, period_s, attach=None):
+def _snap_periodic_app(builder, voltage, iterations, period_s, attach=None,
+                       obs=None):
     node = SensorNode(config=CoreConfig(voltage=voltage))
+    if obs is not None:
+        node.attach_observability(obs)
     if attach is not None:
         attach(node)
     node.load(builder())
@@ -269,14 +286,14 @@ def _avr_marginal(build, vectors, iterations, ticks_per_iter,
     return (d_cycles / d_iters, d_useful / d_iters, d_iters, second)
 
 
-def blink_comparison(iterations=10):
+def blink_comparison(iterations=10, obs=None):
     """Figure 5: periodic LED blink on SNAP vs the TinyOS baseline."""
     period_ticks = 1000
     results = {}
     for voltage in (1.8, 0.6):
         node = _snap_periodic_app(
             lambda: build_blink_app(period_ticks=period_ticks),
-            voltage, iterations, period_ticks * 1e-6)
+            voltage, iterations, period_ticks * 1e-6, obs=obs)
         handler = node.meter.by_handler["TIMER0"]
         per_iter_energy = ((handler.energy
                             + node.meter.wakeup_energy
@@ -312,11 +329,12 @@ class CyclesComparison:
         return 1.0 - self.snap_cycles / self.avr_cycles
 
 
-def sense_comparison(iterations=10):
+def sense_comparison(iterations=10, obs=None):
     """Section 4.6: the Sense application, SNAP vs the baseline."""
     node = _snap_periodic_app(
         lambda: build_sense_app(period_ticks=1000), 0.6, iterations, 1e-3,
-        attach=lambda n: n.attach_sensor(ConstantSensor(0x3A5), sensor_id=2))
+        attach=lambda n: n.attach_sensor(ConstantSensor(0x3A5), sensor_id=2),
+        obs=obs)
     snap_cycles = node.meter.cycles / iterations
 
     avr_cycles, avr_useful, _, _ = _avr_marginal(
@@ -332,9 +350,11 @@ def sense_comparison(iterations=10):
         avr_overhead_fraction=(avr_cycles - avr_useful) / avr_cycles)
 
 
-def radiostack_comparison(bytes_count=10):
+def radiostack_comparison(bytes_count=10, obs=None):
     """Section 4.6: the MICA high-speed radio stack, cycles per byte."""
     net = NetworkSimulator()
+    if obs is not None:
+        net.attach_observability(obs)
     node = net.add_node(0, program=build_radiostack_app(),
                         config=CoreConfig(voltage=0.6))
     net.run(until=0.001)
@@ -371,9 +391,9 @@ class SummaryResult:
     power_at_10hz_high: float
 
 
-def results_summary(voltage):
+def results_summary(voltage, obs=None):
     """Handler energy range and the active power at ten events/second."""
-    rows = handler_table(voltage)
+    rows = handler_table(voltage, obs=obs)
     energies = [row.energy for row in rows]
     return SummaryResult(
         voltage=voltage,

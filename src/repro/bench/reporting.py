@@ -3,6 +3,12 @@
 import dataclasses
 import json
 import os
+import platform
+
+try:
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy is a hard dependency
+    _numpy = None
 
 
 def format_table(headers, rows, title=None):
@@ -41,12 +47,24 @@ def _jsonable(value):
         return {str(key): _jsonable(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_jsonable(item) for item in value]
+    if _numpy is not None:
+        # Numpy scalars must land as JSON numbers, not their ``str()``:
+        # the fidelity scorecard compares dumped values arithmetically.
+        if isinstance(value, _numpy.bool_):
+            return bool(value)
+        if isinstance(value, _numpy.integer):
+            return int(value)
+        if isinstance(value, _numpy.floating):
+            return float(value)
+        if isinstance(value, _numpy.ndarray):
+            return [_jsonable(item) for item in value.tolist()]
     if isinstance(value, (int, float, str, bool)) or value is None:
         return value
     return str(value)
 
 
-def dump_results(name, results, metrics=None, directory=None):
+def dump_results(name, results, metrics=None, directory=None,
+                 wall_time_s=None):
     """Write ``BENCH_<name>.json`` with *results* and an optional metrics
     snapshot for counter context.
 
@@ -56,7 +74,10 @@ def dump_results(name, results, metrics=None, directory=None):
     may contain dataclasses (``HandlerRow``, ``ConvergecastResult``,
     ...); they are converted field-by-field.  *metrics* is typically a
     :meth:`NetworkSimulator.snapshot` or
-    :meth:`MetricsRegistry.snapshot` dict.
+    :meth:`MetricsRegistry.snapshot` dict.  *wall_time_s* is the host
+    wall-clock cost of producing the results; it lands under a ``host``
+    key so the scorecard can report how long each benchmark took on the
+    machine that ran it.
     """
     directory = directory or os.environ.get("BENCH_RESULTS_DIR")
     if not directory:
@@ -64,6 +85,10 @@ def dump_results(name, results, metrics=None, directory=None):
     payload = {"benchmark": name, "results": _jsonable(results)}
     if metrics is not None:
         payload["metrics"] = _jsonable(metrics)
+    if wall_time_s is not None:
+        payload["host"] = {"wall_time_s": float(wall_time_s),
+                           "python": platform.python_version(),
+                           "machine": platform.machine()}
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, "BENCH_%s.json" % name)
     with open(path, "w") as handle:

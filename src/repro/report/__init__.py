@@ -1,0 +1,82 @@
+"""Paper-fidelity scorecard: a machine-checked registry of every
+evaluation claim this reproduction makes against the paper.
+
+``EXPERIMENTS.md`` records ~60 paper-vs-measured values by hand; this
+package is the machine check that a refactor has not silently drifted
+them.  Three pieces:
+
+* :mod:`repro.report.claims` -- the typed **claims registry**: every
+  table/figure value from the paper's Section 4 (and the repo's
+  extension benchmarks) as :class:`ValueClaim` / :class:`ShapeClaim`
+  records with expected values, tolerance bands, and shape constraints
+  (orderings, ratios, bounds);
+* :mod:`repro.report.collect` -- produces the **measurements** the
+  claims are graded against, either by running the benchmark harness
+  directly or by ingesting ``BENCH_*.json`` dumps;
+* :mod:`repro.report.evaluate` / :mod:`repro.report.render` -- grade
+  each claim (``match`` / ``within_band`` / ``drift`` /
+  ``shape_violation`` / ``missing``), gate on regressions, and render
+  the Markdown scorecard, the machine-readable ``BENCH_FIDELITY.json``,
+  and the regenerated measured-column block for ``EXPERIMENTS.md``.
+
+The ``snap-report`` CLI (``python -m repro.tools.snap_report``) wraps
+the pipeline end to end; ``tests/test_report.py`` gates CI on the
+committed baseline under ``tests/goldens/fidelity_baseline.json``.
+"""
+
+from repro.report.claims import (
+    CLAIMS,
+    GRADE_DRIFT,
+    GRADE_MATCH,
+    GRADE_MISSING,
+    GRADE_SHAPE_VIOLATION,
+    GRADE_WITHIN_BAND,
+    GRADE_SEVERITY,
+    MissingMeasurement,
+    PaperClaim,
+    ShapeClaim,
+    ValueClaim,
+    claims_by_id,
+)
+from repro.report.collect import (
+    COLLECTORS,
+    collect,
+    load_results_dir,
+    measurements_view,
+    perturb_measurements,
+)
+from repro.report.evaluate import ClaimResult, Scorecard, compare_to_baseline, evaluate
+from repro.report.render import (
+    experiments_block,
+    fidelity_payload,
+    markdown_scorecard,
+    write_fidelity_json,
+)
+
+__all__ = [
+    "CLAIMS",
+    "GRADE_MATCH",
+    "GRADE_WITHIN_BAND",
+    "GRADE_DRIFT",
+    "GRADE_SHAPE_VIOLATION",
+    "GRADE_MISSING",
+    "GRADE_SEVERITY",
+    "MissingMeasurement",
+    "PaperClaim",
+    "ValueClaim",
+    "ShapeClaim",
+    "claims_by_id",
+    "COLLECTORS",
+    "collect",
+    "load_results_dir",
+    "measurements_view",
+    "perturb_measurements",
+    "ClaimResult",
+    "Scorecard",
+    "evaluate",
+    "compare_to_baseline",
+    "markdown_scorecard",
+    "fidelity_payload",
+    "write_fidelity_json",
+    "experiments_block",
+]

@@ -1,0 +1,716 @@
+"""The paper-claims registry.
+
+Every row of every table and figure in ``EXPERIMENTS.md`` -- the paper's
+Section 4 evaluation plus this repository's extension benchmarks -- is
+encoded here as a typed claim:
+
+* a :class:`ValueClaim` pins one number: the expected value (the paper's
+  published figure, or -- where the paper publishes no exact number, as
+  for the Figure 4 bars -- the reproduction's recorded baseline from
+  ``EXPERIMENTS.md``), a multiplicative or absolute tolerance band, and
+  an extractor that pulls the measured value out of the benchmark
+  measurements;
+* a :class:`ShapeClaim` pins a structural property the paper argues for:
+  an ordering (TX < RX < routing handlers), a scaling ratio (x0.25 at
+  0.9 V), or a bound ("under 300 pJ at 1.8 V").
+
+Claims are graded by :mod:`repro.report.evaluate` against a
+measurements dict ``{benchmark_name: payload}`` where each payload has
+the shape of the corresponding ``BENCH_<name>.json`` ``results`` block
+(see :mod:`repro.report.collect`).  Extractors therefore index with
+string keys exactly as the JSON dumps do (voltages are ``"1.8"``,
+``"0.9"``, ``"0.6"``).
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.baseline.energy import (
+    WAKEUP_LATENCY_POWER_DOWN_S,
+    WAKEUP_LATENCY_POWER_SAVE_S,
+)
+
+# -- grades -------------------------------------------------------------------
+
+GRADE_MATCH = "match"
+GRADE_WITHIN_BAND = "within_band"
+GRADE_DRIFT = "drift"
+GRADE_SHAPE_VIOLATION = "shape_violation"
+GRADE_MISSING = "missing"
+
+#: Ordering used for gating and baseline regression checks: a claim
+#: whose severity *increases* has regressed.
+GRADE_SEVERITY = {
+    GRADE_MATCH: 0,
+    GRADE_WITHIN_BAND: 1,
+    GRADE_DRIFT: 2,
+    GRADE_SHAPE_VIOLATION: 2,
+    GRADE_MISSING: 3,
+}
+
+#: Where an expected value comes from.
+SOURCE_PAPER = "paper"          # a number the paper publishes
+SOURCE_REPRO = "repro-baseline"  # EXPERIMENTS.md's recorded measurement
+
+
+class MissingMeasurement(KeyError):
+    """Raised by extractors when a benchmark payload (or a field within
+    it) is absent from the measurements dict."""
+
+
+def _need(measurements, benchmark):
+    try:
+        return measurements[benchmark]
+    except KeyError:
+        raise MissingMeasurement(benchmark)
+
+
+def _field(payload, *path):
+    value = payload
+    for key in path:
+        try:
+            value = value[key]
+        except (KeyError, IndexError, TypeError):
+            raise MissingMeasurement("/".join(str(p) for p in path))
+    return value
+
+
+def _t1_row(measurements, voltage_key, name):
+    rows = _field(_need(measurements, "table1_handlers"), voltage_key)
+    for row in rows:
+        if row.get("name") == name:
+            return row
+    raise MissingMeasurement("table1_handlers/%s/%s" % (voltage_key, name))
+
+
+# -- claim types --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """Common identity of one checkable claim."""
+
+    id: str          #: stable dotted id, e.g. ``table1.packet_reception.ins``
+    section: str     #: the paper section/table/figure it belongs to
+    metric: str      #: human-readable metric description
+    benchmark: str   #: measurements key the claim reads from
+    source: str = SOURCE_PAPER
+
+
+@dataclass(frozen=True)
+class ValueClaim(PaperClaim):
+    """One number with a tolerance band.
+
+    Either *band* (multiplicative ``(low, high)`` bounds on
+    ``measured / expected``) or *band_abs* (``|measured - expected|``
+    bound) must be given.  ``match_rel`` / ``match_abs`` define the
+    tight inner band that earns a ``match`` grade; anything else inside
+    the tolerance band grades ``within_band``; outside it, ``drift``.
+    """
+
+    unit: str = ""
+    expected: float = 0.0
+    extract: Callable = None
+    band: Optional[Tuple[float, float]] = None
+    band_abs: Optional[float] = None
+    match_rel: float = 0.02
+    match_abs: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ShapeClaim(PaperClaim):
+    """A structural constraint: *check* returns ``(ok, detail)``."""
+
+    check: Callable = None
+
+
+# -- the registry -------------------------------------------------------------
+
+
+def _vc(claims, **kwargs):
+    claims.append(ValueClaim(**kwargs))
+
+
+def _sc(claims, **kwargs):
+    claims.append(ShapeClaim(**kwargs))
+
+
+#: Figure 4 recorded baseline, pJ/ins at (1.8 V, 0.9 V, 0.6 V) -- the
+#: paper publishes the figure as bars without exact numbers, so these
+#: anchor to EXPERIMENTS.md's measured values (drift guard).
+FIG4_BASELINE_PJ = {
+    "Arith Reg":   (143.0, 35.8, 15.9),
+    "Logical Reg": (141.0, 35.3, 15.7),
+    "Shift":       (143.0, 35.8, 15.9),
+    "Branch":      (145.0, 36.3, 16.1),
+    "Timer":       (147.0, 36.7, 16.3),
+    "Rand":        (151.0, 37.8, 16.8),
+    "Logical Imm": (220.0, 55.0, 24.4),
+    "Bitfield":    (220.0, 55.0, 24.4),
+    "Arith Imm":   (222.0, 55.5, 24.7),
+    "Load":        (299.0, 74.7, 33.2),
+    "Store":       (299.0, 74.7, 33.2),
+    "IMem Load":   (316.0, 79.0, 35.1),
+}
+
+FIG4_TIER_ONE_WORD = ("Arith Reg", "Logical Reg", "Shift", "Branch")
+FIG4_TIER_TWO_WORD = ("Arith Imm", "Logical Imm", "Bitfield")
+FIG4_TIER_MEMORY = ("Load", "Store")
+
+#: Table 1: paper's (dynamic instructions, nJ at 1.8 V, nJ at 0.6 V).
+TABLE1_PAPER = {
+    "Packet Transmission": (70, 15.1, 1.6),
+    "Packet Reception":    (103, 22.5, 2.5),
+    "AODV Route Reply":    (224, 48.1, 5.2),
+    "AODV Forward":        (245, 53.7, 5.9),
+    "Temperature App":     (140, 30.5, 3.4),
+    "Threshold App":       (155, 33.7, 3.8),
+}
+
+#: Table 1's average energy/instruction per voltage (pJ).
+TABLE1_PAPER_EPI_PJ = {"1.8": 217.0, "0.9": 54.8, "0.6": 23.8}
+
+VOLTAGE_KEYS = ("1.8", "0.9", "0.6")
+
+#: The paper's Atmel comparison point (Table 2).
+ATMEL_EPI_J = 1500e-12
+XSCALE_EPI_J = 1e-9
+
+
+def _slug(name):
+    return name.lower().replace(" ", "_").replace("/", "_")
+
+
+def build_claims():
+    """Construct the full claims registry, in EXPERIMENTS.md order."""
+    claims = []
+
+    # -- Section 4.3: throughput and wake-up latency --------------------------
+    paper_mips = {"1.8": 240.0, "0.9": 61.0, "0.6": 28.0}
+    paper_wakeup_ns = {"1.8": 2.5, "0.9": 9.8, "0.6": 21.4}
+    for vk in VOLTAGE_KEYS:
+        _vc(claims, id="s43.mips.%sv" % vk, section="Section 4.3",
+            metric="Throughput @%sV" % vk, benchmark="throughput_wakeup",
+            unit="MIPS", expected=paper_mips[vk], band=(0.85, 1.15),
+            match_rel=0.03,
+            extract=lambda m, vk=vk: _field(
+                _need(m, "throughput_wakeup"), vk, "mips"))
+        _vc(claims, id="s43.wakeup_ns.%sv" % vk, section="Section 4.3",
+            metric="Wakeup latency @%sV" % vk, benchmark="throughput_wakeup",
+            unit="ns", expected=paper_wakeup_ns[vk], band=(0.99, 1.01),
+            match_rel=0.01,
+            extract=lambda m, vk=vk: 1e9 * _field(
+                _need(m, "throughput_wakeup"), vk, "wakeup_latency_s"))
+
+    def mips_scaling(m):
+        tw = _need(m, "throughput_wakeup")
+        r09 = _field(tw, "1.8", "mips") / _field(tw, "0.9", "mips")
+        r06 = _field(tw, "1.8", "mips") / _field(tw, "0.6", "mips")
+        ok = (abs(r09 / (240.0 / 61.0) - 1) <= 0.05
+              and abs(r06 / (240.0 / 28.0) - 1) <= 0.05)
+        return ok, ("1.8V/0.9V = %.2f (paper %.2f), 1.8V/0.6V = %.2f "
+                    "(paper %.2f)" % (r09, 240 / 61, r06, 240 / 28))
+
+    _sc(claims, id="s43.mips_scaling", section="Section 4.3",
+        metric="Voltage-scaling ratios of throughput are the paper's own",
+        benchmark="throughput_wakeup", check=mips_scaling)
+
+    def atmel_wakeup_gap(m):
+        slowest = _field(_need(m, "throughput_wakeup"),
+                         "0.6", "wakeup_latency_s")
+        save = WAKEUP_LATENCY_POWER_SAVE_S / slowest
+        down = WAKEUP_LATENCY_POWER_DOWN_S / slowest
+        return (save > 1e5 and down > 1e6,
+                "power-save %.1e x, power-down %.1e x slower" % (save, down))
+
+    _sc(claims, id="s43.atmel_wakeup_gap", section="Section 4.3",
+        metric="Atmel deep-sleep wakeup is 5-7 orders of magnitude slower",
+        benchmark="throughput_wakeup", check=atmel_wakeup_gap)
+
+    # -- Figure 4: energy per instruction type --------------------------------
+    for name, baselines in FIG4_BASELINE_PJ.items():
+        for vk, expected in zip(VOLTAGE_KEYS, baselines):
+            _vc(claims, id="fig4.%s.%sv" % (_slug(name), vk),
+                section="Figure 4", metric="%s energy @%sV" % (name, vk),
+                benchmark="fig4_energy_per_class", unit="pJ/ins",
+                source=SOURCE_REPRO, expected=expected, band=(0.92, 1.08),
+                extract=lambda m, vk=vk, name=name: 1e12 * _field(
+                    _need(m, "fig4_energy_per_class"), vk, name))
+
+    def fig4_tiers(m, vk):
+        table = _field(_need(m, "fig4_energy_per_class"), vk)
+        one = max(table[c] for c in FIG4_TIER_ONE_WORD)
+        two_lo = min(table[c] for c in FIG4_TIER_TWO_WORD)
+        two_hi = max(table[c] for c in FIG4_TIER_TWO_WORD)
+        mem = min(table[c] for c in FIG4_TIER_MEMORY)
+        return (one < two_lo and two_hi < mem,
+                "one-word <= %.1f pJ < two-word %.1f-%.1f pJ < memory "
+                ">= %.1f pJ" % (one * 1e12, two_lo * 1e12, two_hi * 1e12,
+                                mem * 1e12))
+
+    for vk in VOLTAGE_KEYS:
+        _sc(claims, id="fig4.tiers.%sv" % vk, section="Figure 4",
+            metric="Three energy tiers (register < immediate < memory) "
+                   "@%sV" % vk,
+            benchmark="fig4_energy_per_class",
+            check=lambda m, vk=vk: fig4_tiers(m, vk))
+
+    def fig4_under_300(m):
+        table = _field(_need(m, "fig4_energy_per_class"), "1.8")
+        common = {n: e for n, e in table.items() if n != "IMem Load"}
+        worst = max(common.values())
+        return (worst < 300e-12 and table["IMem Load"] < 320e-12,
+                "worst common class %.1f pJ; IMem Load %.1f pJ"
+                % (worst * 1e12, table["IMem Load"] * 1e12))
+
+    _sc(claims, id="fig4.under_300pj.1.8v", section="Figure 4",
+        metric="Under 300 pJ/ins at 1.8V for the common classes",
+        benchmark="fig4_energy_per_class", check=fig4_under_300)
+
+    def fig4_under_75(m):
+        table = _field(_need(m, "fig4_energy_per_class"), "0.6")
+        worst = max(table.values())
+        cheap = sum(1 for e in table.values() if e < 25e-12)
+        return (worst < 75e-12 and cheap >= len(table) // 2,
+                "worst %.1f pJ; %d/%d classes under 25 pJ"
+                % (worst * 1e12, cheap, len(table)))
+
+    _sc(claims, id="fig4.under_75pj.0.6v", section="Figure 4",
+        metric="Less than 75 pJ/ins at 0.6V, many types under 25 pJ/ins",
+        benchmark="fig4_energy_per_class", check=fig4_under_75)
+
+    def fig4_vscale(m, vk, ratio):
+        table18 = _field(_need(m, "fig4_energy_per_class"), "1.8")
+        table = _field(_need(m, "fig4_energy_per_class"), vk)
+        worst_name = max(table, key=lambda n: abs(table[n] / table18[n]
+                                                  - ratio))
+        worst = table[worst_name] / table18[worst_name]
+        return (all(abs(table[n] / table18[n] - ratio) <= 0.02
+                    for n in table),
+                "worst class %s scales x%.3f (target x%.3f)"
+                % (worst_name, worst, ratio))
+
+    _sc(claims, id="fig4.vscale.0.9v", section="Figure 4",
+        metric="Per-class voltage scaling x0.25 at 0.9V",
+        benchmark="fig4_energy_per_class",
+        check=lambda m: fig4_vscale(m, "0.9", 0.25))
+    _sc(claims, id="fig4.vscale.0.6v", section="Figure 4",
+        metric="Per-class voltage scaling x0.111 at 0.6V",
+        benchmark="fig4_energy_per_class",
+        check=lambda m: fig4_vscale(m, "0.6", 1.0 / 9.0))
+
+    # -- Section 4.4: core energy distribution --------------------------------
+    paper_fractions = {"datapath": 0.33, "fetch": 0.20, "decode": 0.16,
+                       "mem_if": 0.09, "misc": 0.22}
+    for bucket, expected in paper_fractions.items():
+        _vc(claims, id="s44.fraction.%s" % bucket, section="Section 4.4",
+            metric="Core energy share: %s" % bucket,
+            benchmark="energy_breakdown", unit="fraction",
+            expected=expected, band_abs=0.05, match_abs=0.01,
+            extract=lambda m, bucket=bucket: _field(
+                _need(m, "energy_breakdown"), "core_fractions", bucket))
+    _vc(claims, id="s44.memory_share", section="Section 4.4",
+        metric="Memory arrays' share of total energy",
+        benchmark="energy_breakdown", unit="fraction",
+        expected=0.50, band_abs=0.08, match_abs=0.04,
+        extract=lambda m: _field(_need(m, "energy_breakdown"),
+                                 "memory_share"))
+
+    def breakdown_ordering(m):
+        fractions = _field(_need(m, "energy_breakdown"), "core_fractions")
+        biggest = max(fractions, key=fractions.get)
+        smallest = min(fractions, key=fractions.get)
+        return (biggest == "datapath" and smallest == "mem_if",
+                "largest %s, smallest %s" % (biggest, smallest))
+
+    _sc(claims, id="s44.ordering", section="Section 4.4",
+        metric="Datapath is the largest core consumer, memory interface "
+               "the smallest", benchmark="energy_breakdown",
+        check=breakdown_ordering)
+
+    # -- Table 1: handler code statistics -------------------------------------
+    for name, (ins, e18_nj, e06_nj) in TABLE1_PAPER.items():
+        slug = _slug(name)
+        _vc(claims, id="table1.%s.ins" % slug, section="Table 1",
+            metric="%s dynamic instructions" % name,
+            benchmark="table1_handlers", unit="ins",
+            expected=float(ins), band=(0.6, 1.6), match_rel=0.05,
+            extract=lambda m, name=name: float(
+                _field(_t1_row(m, "0.6", name), "instructions")))
+        _vc(claims, id="table1.%s.energy.1.8v" % slug, section="Table 1",
+            metric="%s energy @1.8V" % name,
+            benchmark="table1_handlers", unit="nJ",
+            expected=e18_nj, band=(0.55, 1.45), match_rel=0.05,
+            extract=lambda m, name=name: 1e9 * _field(
+                _t1_row(m, "1.8", name), "energy"))
+        _vc(claims, id="table1.%s.energy.0.6v" % slug, section="Table 1",
+            metric="%s energy @0.6V" % name,
+            benchmark="table1_handlers", unit="nJ",
+            expected=e06_nj, band=(0.55, 1.45), match_rel=0.05,
+            extract=lambda m, name=name: 1e9 * _field(
+                _t1_row(m, "0.6", name), "energy"))
+
+    def suite_epi(m, vk):
+        rows = _field(_need(m, "table1_handlers"), vk)
+        return (1e12 * sum(r["energy"] for r in rows)
+                / sum(r["instructions"] for r in rows))
+
+    for vk in VOLTAGE_KEYS:
+        _vc(claims, id="table1.epi.%sv" % vk, section="Table 1",
+            metric="Average energy/instruction @%sV" % vk,
+            benchmark="table1_handlers", unit="pJ/ins",
+            expected=TABLE1_PAPER_EPI_PJ[vk], band=(0.85, 1.15),
+            match_rel=0.03,
+            extract=lambda m, vk=vk: suite_epi(m, vk))
+
+    def table1_ordering(m):
+        costs = {r["name"]: r["instructions"]
+                 for r in _field(_need(m, "table1_handlers"), "0.6")}
+        tx, rx = costs["Packet Transmission"], costs["Packet Reception"]
+        rrep, fwd = costs["AODV Route Reply"], costs["AODV Forward"]
+        ok = (tx < rx < rrep and rx < fwd
+              and abs(rrep - fwd) < 0.4 * fwd)
+        return ok, ("TX %d < RX %d < RREP %d ~ FWD %d"
+                    % (tx, rx, rrep, fwd))
+
+    _sc(claims, id="table1.ordering", section="Table 1",
+        metric="Handler cost ordering TX < RX < routing preserved",
+        benchmark="table1_handlers", check=table1_ordering)
+
+    def table1_energy_regime(m):
+        rows18 = _field(_need(m, "table1_handlers"), "1.8")
+        rows06 = _field(_need(m, "table1_handlers"), "0.6")
+        ok = (all(5e-9 < r["energy"] < 100e-9 for r in rows18)
+              and all(0.5e-9 < r["energy"] < 10e-9 for r in rows06))
+        return ok, ("1.8V: %.1f-%.1f nJ; 0.6V: %.1f-%.1f nJ" % (
+            min(r["energy"] for r in rows18) * 1e9,
+            max(r["energy"] for r in rows18) * 1e9,
+            min(r["energy"] for r in rows06) * 1e9,
+            max(r["energy"] for r in rows06) * 1e9))
+
+    _sc(claims, id="table1.energy_regime", section="Table 1",
+        metric="Handlers cost tens of nJ at 1.8V, single-digit nJ at 0.6V",
+        benchmark="table1_handlers", check=table1_energy_regime)
+
+    def table1_code_size(m):
+        payload = _need(m, "table1_code_size")
+        total = (_field(payload, "network_bytes")
+                 + _field(payload, "temperature_bytes"))
+        return (1000 < total < 3600 and total < 4096,
+                "%d B total (paper ~2.8 KB; 4 KB IMEM)" % total)
+
+    _sc(claims, id="table1.code_size", section="Table 1",
+        metric="Application suite fits the 4 KB IMEM with room to spare",
+        benchmark="table1_code_size", check=table1_code_size)
+
+    # -- Figure 5: the Blink comparison ---------------------------------------
+    fig5 = [
+        ("fig5.snap_cycles", "SNAP cycles/blink", "cycles", 41.0,
+         (0.6, 1.4), lambda m: _field(_need(m, "fig5_blink"),
+                                      "snap_cycles")),
+        ("fig5.snap_energy.1.8v", "SNAP energy/blink @1.8V", "nJ", 6.8,
+         (0.5, 1.5), lambda m: 1e9 * _field(_need(m, "fig5_blink"),
+                                            "snap_energy_18")),
+        ("fig5.snap_energy.0.6v", "SNAP energy/blink @0.6V", "nJ", 0.5,
+         (0.5, 1.5), lambda m: 1e9 * _field(_need(m, "fig5_blink"),
+                                            "snap_energy_06")),
+        ("fig5.mote_cycles", "Mote cycles/blink", "cycles", 523.0,
+         (0.75, 1.25), lambda m: _field(_need(m, "fig5_blink"),
+                                        "avr_cycles")),
+        ("fig5.mote_energy", "Mote energy/blink", "nJ", 1960.0,
+         (0.7, 1.3), lambda m: 1e9 * _field(_need(m, "fig5_blink"),
+                                            "avr_energy")),
+    ]
+    for cid, metric, unit, expected, band, extract in fig5:
+        _vc(claims, id=cid, section="Figure 5", metric=metric,
+            benchmark="fig5_blink", unit=unit, expected=expected,
+            band=band, match_rel=0.05, extract=extract)
+    _vc(claims, id="fig5.mote_useful_cycles", section="Figure 5",
+        metric="Mote useful cycles/blink", benchmark="fig5_blink",
+        unit="cycles", expected=16.0, band_abs=6.0, match_abs=2.0,
+        extract=lambda m: _field(_need(m, "fig5_blink"),
+                                 "avr_useful_cycles"))
+    _vc(claims, id="fig5.snap_code_size", section="Figure 5",
+        metric="SNAP Blink code size", benchmark="fig5_code_size",
+        unit="B", expected=184.0, band=(0.5, 2.7), match_rel=0.10,
+        extract=lambda m: float(_field(_need(m, "fig5_code_size"),
+                                       "snap_bytes")))
+
+    def fig5_overhead(m):
+        payload = _need(m, "fig5_blink")
+        fraction = (_field(payload, "avr_overhead_cycles")
+                    / _field(payload, "avr_cycles"))
+        return fraction > 0.9, "%.0f%% of mote cycles are overhead" % (
+            100 * fraction)
+
+    _sc(claims, id="fig5.mote_overhead", section="Figure 5",
+        metric="Mote spends >90% of cycles on scheduling overhead",
+        benchmark="fig5_blink", check=fig5_overhead)
+
+    def fig5_ratios(m):
+        payload = _need(m, "fig5_blink")
+        cyc = _field(payload, "avr_cycles") / _field(payload, "snap_cycles")
+        e18 = (_field(payload, "avr_energy")
+               / _field(payload, "snap_energy_18"))
+        e06 = (_field(payload, "avr_energy")
+               / _field(payload, "snap_energy_06"))
+        return (cyc > 10 and e18 > 100 and e06 > 1000,
+                "cycles %.0fx, energy %.0fx @1.8V / %.0fx @0.6V"
+                % (cyc, e18, e06))
+
+    _sc(claims, id="fig5.ratios", section="Figure 5",
+        metric="SNAP: >10x fewer cycles, >100x (1.8V) / >1000x (0.6V) "
+               "less energy", benchmark="fig5_blink", check=fig5_ratios)
+
+    def fig5_code_ratio(m):
+        payload = _need(m, "fig5_code_size")
+        snap = _field(payload, "snap_bytes")
+        avr = _field(payload, "avr_bytes")
+        return (snap < 500 and avr > snap,
+                "SNAP %d B vs mote %d B" % (snap, avr))
+
+    _sc(claims, id="fig5.code_ratio", section="Figure 5",
+        metric="SNAP Blink under 500 B and smaller than the mote build",
+        benchmark="fig5_code_size", check=fig5_code_ratio)
+
+    # -- Section 4.6: Sense ---------------------------------------------------
+    _vc(claims, id="sense.snap_cycles", section="Section 4.6 (Sense)",
+        metric="SNAP cycles/iteration", benchmark="sense", unit="cycles",
+        expected=261.0, band=(0.7, 1.3), match_rel=0.05,
+        extract=lambda m: _field(_need(m, "sense"), "snap_cycles"))
+    _vc(claims, id="sense.mote_cycles", section="Section 4.6 (Sense)",
+        metric="Mote cycles/iteration", benchmark="sense", unit="cycles",
+        expected=1118.0, band=(0.55, 1.45), match_rel=0.05,
+        extract=lambda m: _field(_need(m, "sense"), "avr_cycles"))
+
+    def sense_shape(m):
+        payload = _need(m, "sense")
+        overhead = _field(payload, "avr_overhead_fraction")
+        ratio = (_field(payload, "avr_cycles")
+                 / _field(payload, "snap_cycles"))
+        return (overhead > 0.70 and ratio > 2.0,
+                "mote overhead %.0f%%, mote/SNAP %.1fx"
+                % (100 * overhead, ratio))
+
+    _sc(claims, id="sense.shape", section="Section 4.6 (Sense)",
+        metric="Most mote cycles are overhead; SNAP several times cheaper",
+        benchmark="sense", check=sense_shape)
+
+    # -- Section 4.6: high-speed radio stack ----------------------------------
+    _vc(claims, id="radiostack.snap_cycles",
+        section="Section 4.6 (RadioStack)", metric="SNAP cycles/byte",
+        benchmark="radiostack", unit="cycles", expected=331.0,
+        band=(0.65, 1.35), match_rel=0.05,
+        extract=lambda m: _field(_need(m, "radiostack"), "snap_cycles"))
+    _vc(claims, id="radiostack.mote_cycles",
+        section="Section 4.6 (RadioStack)", metric="Mote cycles/byte",
+        benchmark="radiostack", unit="cycles", expected=780.0,
+        band=(0.75, 1.25), match_rel=0.05,
+        extract=lambda m: _field(_need(m, "radiostack"), "avr_cycles"))
+
+    def radiostack_shape(m):
+        payload = _need(m, "radiostack")
+        reduction = 1.0 - (_field(payload, "snap_cycles")
+                           / _field(payload, "avr_cycles"))
+        isr = _field(payload, "avr_overhead_fraction")
+        return (reduction > 0.5 and isr > 0.25,
+                "%.0f%% cycle reduction; %.0f%% mote ISR overhead"
+                % (100 * reduction, 100 * isr))
+
+    _sc(claims, id="radiostack.shape", section="Section 4.6 (RadioStack)",
+        metric="SNAP more than halves cycles/byte; mote ISR share "
+               "substantial", benchmark="radiostack",
+        check=radiostack_shape)
+
+    # -- Table 2: related microcontrollers ------------------------------------
+    _vc(claims, id="table2.epi.0.6v", section="Table 2",
+        metric="SNAP/LE energy/instruction @0.6V (handler suite)",
+        benchmark="table2_platforms", unit="pJ/ins", expected=24.0,
+        band=(0.85, 1.15), match_rel=0.05,
+        extract=lambda m: 1e12 * _field(_need(m, "table2_platforms"),
+                                        "0.6", 1))
+    _vc(claims, id="table2.epi.1.8v", section="Table 2",
+        metric="SNAP/LE energy/instruction @1.8V (handler suite)",
+        benchmark="table2_platforms", unit="pJ/ins", expected=218.0,
+        band=(0.85, 1.15), match_rel=0.05,
+        extract=lambda m: 1e12 * _field(_need(m, "table2_platforms"),
+                                        "1.8", 1))
+    _vc(claims, id="table2.atmel_ratio", section="Table 2",
+        metric="Atmel energy/ins over SNAP/LE @0.6V ('almost 68x')",
+        benchmark="table2_platforms", unit="x", expected=68.0,
+        band=(0.8, 1.2), match_rel=0.05,
+        extract=lambda m: ATMEL_EPI_J / _field(
+            _need(m, "table2_platforms"), "0.6", 1))
+
+    def xscale_ratio(m):
+        ratio = XSCALE_EPI_J / _field(_need(m, "table2_platforms"),
+                                      "1.8", 1)
+        return 2.5 <= ratio <= 6.5, ("XScale-class 1 nJ/ins is %.1fx "
+                                     "SNAP/LE @1.8V" % ratio)
+
+    _sc(claims, id="table2.xscale_ratio", section="Table 2",
+        metric="XScale-class parts cost three to five times SNAP/LE @1.8V",
+        benchmark="table2_platforms", check=xscale_ratio)
+
+    # -- Section 4.7: results summary -----------------------------------------
+    summary_rows = {
+        "1.8": {"min_nj": 15.0, "max_nj": 55.0,
+                "low_nw": 150.0, "high_nw": 550.0},
+        "0.6": {"min_nj": 1.6, "max_nj": 5.8,
+                "low_nw": 16.0, "high_nw": 58.0},
+    }
+    for vk, row in summary_rows.items():
+        _vc(claims, id="s47.handler_min.%sv" % vk, section="Section 4.7",
+            metric="Cheapest handler energy @%sV" % vk,
+            benchmark="results_summary", unit="nJ", expected=row["min_nj"],
+            band=(0.55, 1.45), match_rel=0.05,
+            extract=lambda m, vk=vk: 1e9 * _field(
+                _need(m, "results_summary"), vk, "min_handler_energy"))
+        _vc(claims, id="s47.handler_max.%sv" % vk, section="Section 4.7",
+            metric="Costliest handler energy @%sV" % vk,
+            benchmark="results_summary", unit="nJ", expected=row["max_nj"],
+            band=(0.55, 1.45), match_rel=0.05,
+            extract=lambda m, vk=vk: 1e9 * _field(
+                _need(m, "results_summary"), vk, "max_handler_energy"))
+        _vc(claims, id="s47.power_low.%sv" % vk, section="Section 4.7",
+            metric="Power floor at 10 events/s @%sV" % vk,
+            benchmark="results_summary", unit="nW", expected=row["low_nw"],
+            band=(0.55, 1.45), match_rel=0.05,
+            extract=lambda m, vk=vk: 1e9 * _field(
+                _need(m, "results_summary"), vk, "power_at_10hz_low"))
+        _vc(claims, id="s47.power_high.%sv" % vk, section="Section 4.7",
+            metric="Power ceiling at 10 events/s @%sV" % vk,
+            benchmark="results_summary", unit="nW", expected=row["high_nw"],
+            band=(0.55, 1.45), match_rel=0.05,
+            extract=lambda m, vk=vk: 1e9 * _field(
+                _need(m, "results_summary"), vk, "power_at_10hz_high"))
+
+    def nanowatt_regime(m):
+        worst = max(_field(_need(m, "results_summary"), vk,
+                           "power_at_10hz_high") for vk in ("1.8", "0.6"))
+        return worst < 1e-6, "worst case %.0f nW" % (worst * 1e9)
+
+    _sc(claims, id="s47.nanowatt_regime", section="Section 4.7",
+        metric="Active power at <=10 events/s stays under a microwatt",
+        benchmark="results_summary", check=nanowatt_regime)
+
+    def s47_scaling(m):
+        ratio = (_field(_need(m, "results_summary"), "1.8",
+                        "max_handler_energy")
+                 / _field(_need(m, "results_summary"), "0.6",
+                          "max_handler_energy"))
+        return (abs(ratio / 9.0 - 1) <= 0.1,
+                "1.8V/0.6V handler energy ratio %.2f (CV^2 predicts 9)"
+                % ratio)
+
+    _sc(claims, id="s47.voltage_scaling", section="Section 4.7",
+        metric="Handler energy scales ~9x between 1.8V and 0.6V",
+        benchmark="results_summary", check=s47_scaling)
+
+    # -- Extensions (EXPERIMENTS.md, not tables in the paper) -----------------
+
+    def eventqueue_shape(m):
+        payload = _need(m, "ablation_eventqueue")
+        hw_ins, hw_energy = _field(payload, "hardware")
+        sw_ins, sw_energy = _field(payload, "software")
+        saved = 1 - hw_ins / sw_ins
+        return (sw_ins > 1.5 * hw_ins and sw_energy > 1.5 * hw_energy,
+                "queue hardware removes %.0f%% of per-event instructions "
+                "(%.0f vs %.0f)" % (100 * saved, hw_ins, sw_ins))
+
+    _sc(claims, id="ext.eventqueue", section="Extensions",
+        metric="Hardware event queue removes a material share of "
+               "per-event work", benchmark="ablation_eventqueue",
+        check=eventqueue_shape)
+
+    def bus_shape(m):
+        payload = _need(m, "ablation_bus")
+        h = _field(payload, "hierarchical_epi")
+        f = _field(payload, "flat_epi")
+        saved = (f - h) / f
+        return (f > h and saved > 0.03,
+                "hierarchy saves %.1f%% (%.1f vs %.1f pJ/ins)"
+                % (100 * saved, h * 1e12, f * 1e12))
+
+    _sc(claims, id="ext.bus_hierarchy", section="Extensions",
+        metric="Two-level bus hierarchy saves energy on the handler suite",
+        benchmark="ablation_bus", check=bus_shape)
+
+    def radio_if_shape(m):
+        payload = _need(m, "ablation_radio_interface")
+        word, bit = _field(payload, "word"), _field(payload, "bit")
+        return (bit["instructions"] > 3 * word["instructions"]
+                and bit["energy_j"] > 3 * word["energy_j"]
+                and bit["wakeups"] >= 10 * word["wakeups"],
+                "bit-banging: %dx instructions, %dx wakeups"
+                % (bit["instructions"] // max(word["instructions"], 1),
+                   bit["wakeups"] // max(word["wakeups"], 1)))
+
+    _sc(claims, id="ext.radio_interface", section="Extensions",
+        metric="Word-level radio interface beats bit-by-bit servicing "
+               "severalfold", benchmark="ablation_radio_interface",
+        check=radio_if_shape)
+
+    def sweep_shape(m):
+        rows = _field(_need(m, "voltage_sweep"), "sweep")
+        mips = [row[1] for row in rows]
+        epi = [row[2] for row in rows]
+        return (mips == sorted(mips) and epi == sorted(epi)
+                and epi[0] < epi[1],
+                "MIPS and pJ/ins both rise monotonically with voltage; "
+                "energy keeps falling below 0.6V")
+
+    _sc(claims, id="ext.voltage_sweep", section="Extensions",
+        metric="Energy/performance curve is monotonic; sub-0.6V keeps "
+               "saving energy", benchmark="voltage_sweep",
+        check=sweep_shape)
+    _vc(claims, id="ext.voltage_sweep.epi.0.6v", section="Extensions",
+        metric="Sweep workload energy/instruction @0.6V",
+        benchmark="voltage_sweep", unit="pJ/ins", expected=24.0,
+        band=(0.75, 1.25), match_rel=0.10,
+        extract=lambda m: 1e12 * next(
+            row[2] for row in _field(_need(m, "voltage_sweep"), "sweep")
+            if abs(row[0] - 0.6) < 1e-9))
+
+    def lifetime_shape(m):
+        payload = _need(m, "network_lifetime")
+        deliveries = _field(payload, "sink_deliveries")
+        nodes = _field(payload, "nodes")
+        powers = [node["average_power_w"] for node in nodes.values()]
+        forwards = {int(nid): node["packets_forwarded"]
+                    for nid, node in nodes.items()}
+        comparison = _field(payload, "comparison")
+        ratio = (comparison["snap_lifetime_s"]
+                 / comparison["mote_lifetime_s"])
+        ok = (deliveries >= 280 and max(powers) < 1e-6
+              and forwards[2] > forwards[3] > forwards[4]
+              and ratio > 100)
+        return ok, ("%d deliveries; worst node %.0f nW; funnel %d>%d>%d; "
+                    "lifetime %.0fx a mote" % (
+                        deliveries, max(powers) * 1e9, forwards[2],
+                        forwards[3], forwards[4], ratio))
+
+    _sc(claims, id="ext.network_lifetime", section="Extensions",
+        metric="Convergecast chain: nanowatt processors, relay funnel, "
+               ">100x mote lifetime", benchmark="network_lifetime",
+        check=lifetime_shape)
+
+    return claims
+
+
+#: The registry, in EXPERIMENTS.md order.
+CLAIMS = build_claims()
+
+
+def claims_by_id(claims=None):
+    """``{claim.id: claim}`` over *claims* (default: the full registry)."""
+    table = {}
+    for claim in (claims if claims is not None else CLAIMS):
+        if claim.id in table:
+            raise ValueError("duplicate claim id %r" % claim.id)
+        table[claim.id] = claim
+    return table
+
+
+# Fail fast on registry mistakes at import time.
+claims_by_id()

@@ -1,0 +1,202 @@
+"""Grade the claims registry against a set of measurements.
+
+The evaluator is deliberately dumb: it never runs a simulation, it only
+reads the measurements dict produced by :mod:`repro.report.collect`
+(live harness runs or ingested ``BENCH_*.json`` dumps) and applies each
+claim's tolerance band or shape predicate.  Grades:
+
+``match``
+    within the tight inner band of the expected value (or the shape
+    predicate holds);
+``within_band``
+    inside the claim's tolerance band but not a tight match;
+``drift``
+    outside the tolerance band -- the reproduction has moved;
+``shape_violation``
+    a structural constraint (ordering, ratio, bound) failed;
+``missing``
+    the benchmark payload the claim needs was not measured.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.report.claims import (
+    CLAIMS,
+    GRADE_DRIFT,
+    GRADE_MATCH,
+    GRADE_MISSING,
+    GRADE_SEVERITY,
+    GRADE_SHAPE_VIOLATION,
+    GRADE_WITHIN_BAND,
+    MissingMeasurement,
+    ShapeClaim,
+    ValueClaim,
+)
+
+
+@dataclass
+class ClaimResult:
+    """One graded claim."""
+
+    id: str
+    section: str
+    metric: str
+    benchmark: str
+    source: str
+    grade: str
+    unit: str = ""
+    expected: Optional[float] = None
+    measured: Optional[float] = None
+    delta_rel: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def severity(self):
+        return GRADE_SEVERITY[self.grade]
+
+    def to_dict(self):
+        return {
+            "id": self.id, "section": self.section, "metric": self.metric,
+            "benchmark": self.benchmark, "source": self.source,
+            "grade": self.grade, "unit": self.unit,
+            "expected": self.expected, "measured": self.measured,
+            "delta_rel": self.delta_rel, "detail": self.detail,
+        }
+
+
+def _grade_value(claim, measured):
+    delta = measured - claim.expected
+    delta_rel = (delta / claim.expected) if claim.expected else None
+    if claim.band_abs is not None:
+        match_abs = (claim.match_abs if claim.match_abs is not None
+                     else claim.band_abs / 5.0)
+        if abs(delta) <= match_abs:
+            grade = GRADE_MATCH
+        elif abs(delta) <= claim.band_abs:
+            grade = GRADE_WITHIN_BAND
+        else:
+            grade = GRADE_DRIFT
+        detail = "measured %.6g, expected %.6g +/- %.3g" % (
+            measured, claim.expected, claim.band_abs)
+    else:
+        low, high = claim.band
+        ratio = measured / claim.expected if claim.expected else float("inf")
+        if abs(ratio - 1.0) <= claim.match_rel:
+            grade = GRADE_MATCH
+        elif low <= ratio <= high:
+            grade = GRADE_WITHIN_BAND
+        else:
+            grade = GRADE_DRIFT
+        detail = "measured %.6g = %.3fx of expected %.6g (band %.2f-%.2f)" % (
+            measured, ratio, claim.expected, low, high)
+    return grade, delta_rel, detail
+
+
+def evaluate_claim(claim, measurements):
+    """Grade one claim; never raises on missing or malformed payloads."""
+    common = dict(id=claim.id, section=claim.section, metric=claim.metric,
+                  benchmark=claim.benchmark, source=claim.source)
+    if isinstance(claim, ValueClaim):
+        try:
+            measured = float(claim.extract(measurements))
+        except MissingMeasurement as exc:
+            return ClaimResult(grade=GRADE_MISSING, unit=claim.unit,
+                               expected=claim.expected,
+                               detail="missing measurement: %s" % exc,
+                               **common)
+        grade, delta_rel, detail = _grade_value(claim, measured)
+        return ClaimResult(grade=grade, unit=claim.unit,
+                           expected=claim.expected, measured=measured,
+                           delta_rel=delta_rel, detail=detail, **common)
+    assert isinstance(claim, ShapeClaim)
+    try:
+        ok, detail = claim.check(measurements)
+    except MissingMeasurement as exc:
+        return ClaimResult(grade=GRADE_MISSING,
+                           detail="missing measurement: %s" % exc, **common)
+    return ClaimResult(grade=GRADE_MATCH if ok else GRADE_SHAPE_VIOLATION,
+                       detail=detail, **common)
+
+
+@dataclass
+class Scorecard:
+    """Every claim graded, plus gate and baseline-comparison helpers."""
+
+    results: List[ClaimResult] = field(default_factory=list)
+
+    def counts(self):
+        table = {GRADE_MATCH: 0, GRADE_WITHIN_BAND: 0, GRADE_DRIFT: 0,
+                 GRADE_SHAPE_VIOLATION: 0, GRADE_MISSING: 0}
+        for result in self.results:
+            table[result.grade] += 1
+        return table
+
+    def by_section(self):
+        sections = {}
+        for result in self.results:
+            sections.setdefault(result.section, []).append(result)
+        return sections
+
+    def failures(self, strict_missing=True):
+        """Claims that fail the gate: drift, shape violations, and
+        (unless *strict_missing* is off) claims that could not be
+        measured at all."""
+        bad = {GRADE_DRIFT, GRADE_SHAPE_VIOLATION}
+        if strict_missing:
+            bad = bad | {GRADE_MISSING}
+        return [result for result in self.results if result.grade in bad]
+
+    def gate(self, strict_missing=True):
+        """``(ok, failures)`` -- the CI pass/fail verdict."""
+        failures = self.failures(strict_missing=strict_missing)
+        return (not failures, failures)
+
+    def grades(self):
+        """``{claim_id: grade}`` -- the baseline golden's payload."""
+        return {result.id: result.grade for result in self.results}
+
+    def get(self, claim_id):
+        for result in self.results:
+            if result.id == claim_id:
+                return result
+        raise KeyError(claim_id)
+
+
+def evaluate(measurements, claims=None):
+    """Grade *claims* (default: the full registry) against
+    *measurements* and return a :class:`Scorecard`."""
+    claims = CLAIMS if claims is None else claims
+    return Scorecard(results=[evaluate_claim(claim, measurements)
+                              for claim in claims])
+
+
+def compare_to_baseline(scorecard, baseline_grades):
+    """Diff a scorecard against a committed ``{claim_id: grade}``
+    baseline.
+
+    Returns a dict with ``regressions`` (severity increased),
+    ``improvements`` (severity decreased), ``new`` (claims the baseline
+    has no entry for) and ``removed`` (baseline entries no longer in the
+    registry).  Only ``regressions`` should gate a build.
+    """
+    regressions, improvements, new = [], [], []
+    seen = set()
+    for result in scorecard.results:
+        seen.add(result.id)
+        baseline = baseline_grades.get(result.id)
+        if baseline is None:
+            new.append(result.id)
+            continue
+        before = GRADE_SEVERITY.get(baseline, 0)
+        after = result.severity
+        entry = {"id": result.id, "before": baseline,
+                 "after": result.grade, "detail": result.detail}
+        if after > before:
+            regressions.append(entry)
+        elif after < before:
+            improvements.append(entry)
+    removed = [claim_id for claim_id in baseline_grades
+               if claim_id not in seen]
+    return {"regressions": regressions, "improvements": improvements,
+            "new": new, "removed": removed}

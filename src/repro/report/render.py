@@ -1,0 +1,301 @@
+"""Render a graded scorecard: Markdown for humans, ``BENCH_FIDELITY.json``
+for machines, and the regenerated measured-column block for
+``EXPERIMENTS.md``."""
+
+import json
+
+from repro.report.claims import (
+    GRADE_DRIFT,
+    GRADE_MATCH,
+    GRADE_MISSING,
+    GRADE_SHAPE_VIOLATION,
+    GRADE_WITHIN_BAND,
+)
+
+#: Scorecard glyph per grade.
+GRADE_SYMBOL = {
+    GRADE_MATCH: "OK",
+    GRADE_WITHIN_BAND: "~",
+    GRADE_DRIFT: "DRIFT",
+    GRADE_SHAPE_VIOLATION: "SHAPE",
+    GRADE_MISSING: "?",
+}
+
+SCHEMA_VERSION = 1
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def _fmt_delta(result):
+    if result.delta_rel is None:
+        return "-"
+    return "%+.1f%%" % (100 * result.delta_rel)
+
+
+def markdown_scorecard(scorecard, entries=None, baseline_diff=None,
+                       title="Paper-fidelity scorecard"):
+    """The human-readable scorecard, one table per paper section.
+
+    *entries* optionally supplies the collection entries (for per-bench
+    host wall times); *baseline_diff* the output of
+    :func:`repro.report.evaluate.compare_to_baseline`.
+    """
+    counts = scorecard.counts()
+    total = len(scorecard.results)
+    lines = ["# %s" % title, ""]
+    lines.append("%d claims: %d match, %d within band, %d drift, "
+                 "%d shape violations, %d missing." % (
+                     total, counts[GRADE_MATCH], counts[GRADE_WITHIN_BAND],
+                     counts[GRADE_DRIFT], counts[GRADE_SHAPE_VIOLATION],
+                     counts[GRADE_MISSING]))
+    ok, failures = scorecard.gate()
+    lines.append("")
+    lines.append("**Gate: %s**" % ("PASS" if ok else
+                                   "FAIL (%d claims)" % len(failures)))
+    if baseline_diff is not None:
+        lines.append("")
+        regressions = baseline_diff["regressions"]
+        improvements = baseline_diff["improvements"]
+        if regressions:
+            lines.append("Regressions vs committed baseline:")
+            for entry in regressions:
+                lines.append("* `%s`: %s -> %s (%s)" % (
+                    entry["id"], entry["before"], entry["after"],
+                    entry["detail"]))
+        else:
+            lines.append("No regressions vs the committed baseline.")
+        if improvements:
+            lines.append("Improvements vs baseline: %s." % ", ".join(
+                "`%s` (%s -> %s)" % (e["id"], e["before"], e["after"])
+                for e in improvements))
+        if baseline_diff["new"]:
+            lines.append("New claims not in the baseline: %s."
+                         % ", ".join("`%s`" % c
+                                     for c in baseline_diff["new"]))
+        if baseline_diff["removed"]:
+            lines.append("Baseline claims no longer in the registry: %s."
+                         % ", ".join("`%s`" % c
+                                     for c in baseline_diff["removed"]))
+    for section, results in scorecard.by_section().items():
+        lines.append("")
+        lines.append("## %s" % section)
+        lines.append("")
+        lines.append("| claim | metric | expected | measured | delta "
+                     "| grade |")
+        lines.append("|---|---|---|---|---|---|")
+        for result in results:
+            expected = _fmt(result.expected)
+            if result.expected is not None and result.unit:
+                expected += " %s" % result.unit
+            measured = _fmt(result.measured)
+            if result.measured is not None and result.unit:
+                measured += " %s" % result.unit
+            grade = GRADE_SYMBOL[result.grade]
+            metric = result.metric
+            if result.grade in (GRADE_SHAPE_VIOLATION, GRADE_MISSING):
+                metric += " -- %s" % result.detail
+            elif result.expected is None and result.detail:
+                # Shape claims carry their evidence in the detail.
+                measured = result.detail
+            lines.append("| `%s` | %s | %s | %s | %s | %s |" % (
+                result.id, metric, expected, measured,
+                _fmt_delta(result), grade))
+    if entries:
+        lines.append("")
+        lines.append("## Benchmark runs")
+        lines.append("")
+        lines.append("| benchmark | host wall time | metrics |")
+        lines.append("|---|---|---|")
+        for name, entry in entries.items():
+            host = entry.get("host") or {}
+            wall = host.get("wall_time_s")
+            metrics = entry.get("metrics")
+            metric_note = ("%d series" % len(metrics)
+                           if isinstance(metrics, dict) else "-")
+            lines.append("| %s | %s | %s |" % (
+                name, "%.2f s" % wall if wall is not None else "-",
+                metric_note))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def fidelity_payload(scorecard, entries=None, baseline_diff=None):
+    """The machine-readable ``BENCH_FIDELITY.json`` payload: per-claim
+    grades and deltas plus the gate verdict."""
+    ok, failures = scorecard.gate()
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "gate": {"ok": ok,
+                 "failures": [result.id for result in failures]},
+        "summary": scorecard.counts(),
+        "claims": [result.to_dict() for result in scorecard.results],
+    }
+    if baseline_diff is not None:
+        payload["baseline"] = baseline_diff
+    if entries is not None:
+        payload["benchmarks"] = {
+            name: {"host": entry.get("host"),
+                   "has_metrics": entry.get("metrics") is not None}
+            for name, entry in entries.items()}
+    return payload
+
+
+def write_fidelity_json(path, scorecard, entries=None, baseline_diff=None):
+    payload = fidelity_payload(scorecard, entries=entries,
+                               baseline_diff=baseline_diff)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+# -- the regenerated EXPERIMENTS.md measured block ----------------------------
+
+
+def _pj(joules):
+    return "%.1f" % (joules * 1e12)
+
+
+def _nj(joules):
+    return "%.1f" % (joules * 1e9)
+
+
+def experiments_block(measurements):
+    """Regenerate the *measured* columns of ``EXPERIMENTS.md`` from the
+    current measurements -- the block a maintainer pastes back into the
+    document after an intentional recalibration.
+
+    Only sections whose benchmark payloads are present are rendered.
+    """
+    lines = ["<!-- measured columns regenerated by: "
+             "python -m repro.tools.snap_report --experiments-block -->",
+             ""]
+
+    tw = measurements.get("throughput_wakeup")
+    if tw:
+        lines += ["## Section 4.3 -- throughput and wake-up latency", "",
+                  "| Metric | Measured |", "|---|---|"]
+        for vk in ("1.8", "0.9", "0.6"):
+            lines.append("| Throughput @%sV | %.0f MIPS |"
+                         % (vk, tw[vk]["mips"]))
+        for vk in ("1.8", "0.9", "0.6"):
+            lines.append("| Wakeup @%sV | %.1f ns |"
+                         % (vk, tw[vk]["wakeup_latency_s"] * 1e9))
+        lines.append("")
+
+    fig4 = measurements.get("fig4_energy_per_class")
+    if fig4:
+        lines += ["## Figure 4 -- energy per instruction type (pJ/ins)",
+                  "", "| Class | @1.8V | @0.9V | @0.6V |", "|---|---|---|---|"]
+        for name in sorted(fig4["1.8"]):
+            lines.append("| %s | %s | %s | %s |" % (
+                name, _pj(fig4["1.8"][name]), _pj(fig4["0.9"][name]),
+                _pj(fig4["0.6"][name])))
+        lines.append("")
+
+    breakdown = measurements.get("energy_breakdown")
+    if breakdown:
+        lines += ["## Section 4.4 -- core energy distribution", "",
+                  "| Component | Measured |", "|---|---|"]
+        for bucket, value in breakdown["core_fractions"].items():
+            lines.append("| %s | %.1f%% |" % (bucket, 100 * value))
+        lines.append("| memory arrays' share of total | %.1f%% |"
+                     % (100 * breakdown["memory_share"]))
+        lines.append("")
+
+    table1 = measurements.get("table1_handlers")
+    if table1:
+        lines += ["## Table 1 -- handler code statistics", "",
+                  "| Software task | Measured ins | E@1.8V | E@0.6V |",
+                  "|---|---|---|---|"]
+        by_name_18 = {row["name"]: row for row in table1["1.8"]}
+        for row in table1["0.6"]:
+            row18 = by_name_18[row["name"]]
+            lines.append("| %s | %d | %s nJ | %s nJ |" % (
+                row["name"], row["instructions"], _nj(row18["energy"]),
+                _nj(row["energy"])))
+        lines.append("")
+
+    fig5 = measurements.get("fig5_blink")
+    if fig5:
+        lines += ["## Figure 5 -- the Blink comparison", "",
+                  "| Metric | Measured |", "|---|---|"]
+        lines.append("| Mote cycles/blink | %.0f |" % fig5["avr_cycles"])
+        lines.append("| Mote useful cycles | %.0f |"
+                     % fig5["avr_useful_cycles"])
+        lines.append("| Mote overhead cycles | %.0f (%.0f%% of cycles) |"
+                     % (fig5["avr_overhead_cycles"],
+                        100 * fig5["avr_overhead_cycles"]
+                        / fig5["avr_cycles"]))
+        lines.append("| Mote energy/blink | %.0f nJ |"
+                     % (fig5["avr_energy"] * 1e9))
+        lines.append("| SNAP cycles/blink | %.0f |" % fig5["snap_cycles"])
+        lines.append("| SNAP energy @1.8V | %.1f nJ |"
+                     % (fig5["snap_energy_18"] * 1e9))
+        lines.append("| SNAP energy @0.6V | %.2f nJ |"
+                     % (fig5["snap_energy_06"] * 1e9))
+        sizes = measurements.get("fig5_code_size")
+        if sizes:
+            lines.append("| SNAP code size | %d B |" % sizes["snap_bytes"])
+        lines.append("")
+
+    sense = measurements.get("sense")
+    if sense:
+        lines += ["## Section 4.6 -- Sense", "",
+                  "| Metric | Measured |", "|---|---|"]
+        lines.append("| Mote cycles/iteration | %.0f |"
+                     % sense["avr_cycles"])
+        lines.append("| Mote overhead | %.0f%% |"
+                     % (100 * sense["avr_overhead_fraction"]))
+        lines.append("| SNAP cycles/iteration | %.0f |"
+                     % sense["snap_cycles"])
+        lines.append("| Mote/SNAP ratio | %.1fx |"
+                     % (sense["avr_cycles"] / sense["snap_cycles"]))
+        lines.append("")
+
+    radio = measurements.get("radiostack")
+    if radio:
+        lines += ["## Section 4.6 -- high-speed radio stack", "",
+                  "| Metric | Measured |", "|---|---|"]
+        lines.append("| Mote cycles/byte | %.0f |" % radio["avr_cycles"])
+        lines.append("| SNAP cycles/byte | %.0f |" % radio["snap_cycles"])
+        lines.append("| Cycle reduction | %.0f%% |"
+                     % (100 * (1 - radio["snap_cycles"]
+                               / radio["avr_cycles"])))
+        lines.append("")
+
+    table2 = measurements.get("table2_platforms")
+    if table2:
+        lines += ["## Table 2 -- related microcontrollers", ""]
+        lines.append("SNAP/LE measured: %.0f pJ/ins at %.0f MIPS (0.6V), "
+                     "%.0f pJ/ins at %.0f MIPS (1.8V); the Atmel's "
+                     "1500 pJ/ins is %.0fx the measured SNAP/LE @0.6V." % (
+                         table2["0.6"][1] * 1e12, table2["0.6"][0] / 1e6,
+                         table2["1.8"][1] * 1e12, table2["1.8"][0] / 1e6,
+                         1500e-12 / table2["0.6"][1]))
+        lines.append("")
+
+    summary = measurements.get("results_summary")
+    if summary:
+        lines += ["## Section 4.7 -- results summary", "",
+                  "| Metric | Measured |", "|---|---|"]
+        for vk in ("1.8", "0.6"):
+            row = summary[vk]
+            lines.append("| Handler energy @%sV | %s-%s nJ |" % (
+                vk, _nj(row["min_handler_energy"]),
+                _nj(row["max_handler_energy"])))
+        for vk in ("1.8", "0.6"):
+            row = summary[vk]
+            lines.append(
+                "| Power at <=10 events/s @%sV | %.0f-%.0f nW |" % (
+                    vk, row["power_at_10hz_low"] * 1e9,
+                    row["power_at_10hz_high"] * 1e9))
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""``snap-report``: grade the reproduction against the paper's claims.
+
+Runs the benchmark harness (``--run``, the default) or ingests existing
+``BENCH_*.json`` dumps (``--results-dir``), grades every claim in the
+registry (:mod:`repro.report.claims`), and emits:
+
+* a Markdown scorecard (stdout, or ``--scorecard PATH``);
+* the machine-readable ``BENCH_FIDELITY.json`` (``--json PATH``);
+* the regenerated measured-column block for ``EXPERIMENTS.md``
+  (``--experiments-block [PATH]``).
+
+With ``--baseline tests/goldens/fidelity_baseline.json`` the exit code
+gates on *regressions* against the committed grades instead of absolute
+failures, so a claim that has always been ``within_band`` does not fail
+the build -- only movement does.
+
+``--selftest-perturb FACTOR`` scales every energy-dimensioned
+measurement by FACTOR before grading (simulating a mis-scaled
+calibration) and *requires* the gate to fail -- the CI self-test that
+proves the gate actually trips.
+
+Usage::
+
+    python -m repro.tools.snap_report --run --scorecard scorecard.md \\
+        --json BENCH_FIDELITY.json --baseline tests/goldens/fidelity_baseline.json
+    python -m repro.tools.snap_report --results-dir bench-results/
+    python -m repro.tools.snap_report --run --selftest-perturb 1.4
+
+Exit codes: 0 gate passed, 1 gate failed (or self-test did not trip),
+2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.report.collect import (
+    COLLECTORS,
+    collect,
+    load_results_dir,
+    measurements_view,
+    perturb_measurements,
+)
+from repro.report.evaluate import compare_to_baseline, evaluate
+from repro.report.render import (
+    experiments_block,
+    markdown_scorecard,
+    write_fidelity_json,
+)
+
+
+def _log(message):
+    print("snap-report: %s" % message, file=sys.stderr)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="snap-report",
+        description="Grade the reproduction's benchmark results against "
+                    "the paper-claims registry and emit a fidelity "
+                    "scorecard.")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--run", action="store_true",
+                        help="run the benchmark harness (default when no "
+                             "--results-dir is given)")
+    source.add_argument("--results-dir", metavar="DIR",
+                        help="ingest BENCH_*.json dumps from DIR instead "
+                             "of running the harness")
+    parser.add_argument("--only", metavar="NAME", action="append",
+                        help="restrict --run to the named benchmark "
+                             "payloads (repeatable; see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the benchmark payload names and exit")
+    parser.add_argument("--scorecard", metavar="PATH",
+                        help="write the Markdown scorecard to PATH "
+                             "(default: stdout)")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="write the machine-readable fidelity report "
+                             "(BENCH_FIDELITY.json) to PATH")
+    parser.add_argument("--experiments-block", metavar="PATH", nargs="?",
+                        const="-", default=None,
+                        help="emit the regenerated EXPERIMENTS.md "
+                             "measured-column block (to PATH, or stdout "
+                             "when no PATH is given)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="gate on regressions against a committed "
+                             "baseline grades file instead of absolute "
+                             "drift")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write the current grades as a new baseline "
+                             "file and exit 0")
+    parser.add_argument("--selftest-perturb", type=float, metavar="FACTOR",
+                        default=None,
+                        help="scale energy-dimensioned measurements by "
+                             "FACTOR before grading and require the gate "
+                             "to FAIL (CI gate self-test)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail the gate on claims whose "
+                             "benchmark payloads were not measured (for "
+                             "partial --results-dir ingests)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in COLLECTORS:
+            print(name)
+        return 0
+
+    if args.only and args.results_dir:
+        parser.error("--only requires --run")
+        return 2
+
+    if args.results_dir:
+        entries = load_results_dir(args.results_dir)
+        if not entries:
+            _log("no BENCH_*.json files in %s" % args.results_dir)
+            return 2
+        _log("ingested %d benchmark dumps from %s"
+             % (len(entries), args.results_dir))
+    else:
+        names = set(args.only) if args.only else None
+        if names:
+            unknown = names - set(COLLECTORS)
+            if unknown:
+                parser.error("unknown benchmark(s): %s"
+                             % ", ".join(sorted(unknown)))
+                return 2
+        entries = collect(names=names, log=_log)
+
+    measurements = measurements_view(entries)
+    if args.selftest_perturb is not None:
+        _log("self-test: perturbing energy measurements by %.3fx"
+             % args.selftest_perturb)
+        measurements = perturb_measurements(measurements,
+                                            args.selftest_perturb)
+
+    scorecard = evaluate(measurements)
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            json.dump({"schema": 1, "grades": scorecard.grades()},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        _log("baseline written to %s" % args.write_baseline)
+        return 0
+
+    baseline_diff = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        baseline_diff = compare_to_baseline(scorecard,
+                                            baseline["grades"])
+
+    strict_missing = not (args.allow_missing or args.only)
+    ok, failures = scorecard.gate(strict_missing=strict_missing)
+    if baseline_diff is not None:
+        # Gate on movement, not absolute grades: a claim the committed
+        # baseline already records as within_band is not a failure --
+        # but severity increasing past the baseline is.  Partial runs
+        # (--only / --allow-missing) excuse claims that merely went
+        # unmeasured.
+        gate_regressions = baseline_diff["regressions"]
+        if not strict_missing:
+            gate_regressions = [entry for entry in gate_regressions
+                                if entry["after"] != "missing"]
+        ok = not gate_regressions
+    else:
+        gate_regressions = None
+
+    report = markdown_scorecard(scorecard, entries=entries,
+                                baseline_diff=baseline_diff)
+    if args.scorecard:
+        with open(args.scorecard, "w") as handle:
+            handle.write(report)
+        _log("scorecard written to %s" % args.scorecard)
+    else:
+        print(report)
+
+    if args.json_path:
+        write_fidelity_json(args.json_path, scorecard, entries=entries,
+                            baseline_diff=baseline_diff)
+        _log("fidelity report written to %s" % args.json_path)
+
+    if args.experiments_block is not None:
+        block = experiments_block(measurements)
+        if args.experiments_block == "-":
+            print(block)
+        else:
+            with open(args.experiments_block, "w") as handle:
+                handle.write(block)
+                handle.write("\n")
+            _log("EXPERIMENTS.md measured block written to %s"
+                 % args.experiments_block)
+
+    counts = scorecard.counts()
+    _log("graded %d claims: %d match, %d within band, %d drift, "
+         "%d shape violations, %d missing" % (
+             len(scorecard.results), counts["match"],
+             counts["within_band"], counts["drift"],
+             counts["shape_violation"], counts["missing"]))
+
+    if args.selftest_perturb is not None:
+        if ok:
+            _log("SELF-TEST FAILED: perturbation %.3fx did not trip the "
+                 "gate" % args.selftest_perturb)
+            return 1
+        _log("self-test passed: gate tripped on %d claims"
+             % len(gate_regressions if gate_regressions else failures))
+        return 0
+
+    if not ok:
+        if gate_regressions:
+            _log("GATE FAILED: %d claims regressed past the committed "
+                 "baseline" % len(gate_regressions))
+        else:
+            _log("GATE FAILED: %d claims drifted, violated shape, or "
+                 "went missing" % len(failures))
+        return 1
+    _log("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,3 +161,30 @@ class TestDumpResults:
         assert payload["results"]["rows"] == [
             {"name": "boot", "energy": 1e-9}]
         assert payload["results"]["1.8"] == "non-string key"
+
+    def test_numpy_scalars_become_json_numbers(self, tmp_path):
+        # Regression: numpy scalars used to fall through to str(), which
+        # made dumped energies unusable for arithmetic by the scorecard.
+        numpy = pytest.importorskip("numpy")
+        path = dump_results(
+            "np",
+            {"i": numpy.int64(7), "f": numpy.float64(2.5),
+             "b": numpy.bool_(True), "a": numpy.arange(3),
+             "nested": [numpy.float32(1.5)]},
+            directory=str(tmp_path))
+        payload = json.loads(open(path).read())["results"]
+        assert payload["i"] == 7
+        assert payload["f"] == 2.5
+        assert payload["b"] is True
+        assert payload["a"] == [0, 1, 2]
+        assert payload["nested"] == [1.5]
+        assert all(not isinstance(value, str)
+                   for value in (payload["i"], payload["f"], payload["b"]))
+
+    def test_wall_time_recorded_under_host(self, tmp_path):
+        path = dump_results("timed", {"a": 1}, directory=str(tmp_path),
+                            wall_time_s=1.25)
+        payload = json.loads(open(path).read())
+        assert payload["host"]["wall_time_s"] == 1.25
+        assert payload["host"]["python"]
+        assert payload["host"]["machine"]

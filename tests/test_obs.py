@@ -69,6 +69,60 @@ class TestMetricsRegistry:
         json.dumps(registry.snapshot())
 
 
+class TestHistogramPercentile:
+    def test_empty_histogram_has_no_percentiles(self):
+        from repro.obs.metrics import Histogram
+        histogram = Histogram()
+        assert histogram.percentile(50) is None
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None
+        assert summary["min"] is None and summary["max"] is None
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.obs.metrics import Histogram
+        histogram = Histogram()
+        histogram.observe(3.5)
+        for p in (0, 50, 99, 100):
+            assert histogram.percentile(p) == 3.5
+
+    def test_percentile_clamps_out_of_range_p(self):
+        from repro.obs.metrics import Histogram
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.percentile(-10) == 1.0
+        assert histogram.percentile(250) == 3.0
+
+    def test_values_at_the_decimation_boundary(self):
+        # Filling the reservoir to exactly sample_limit triggers the
+        # decimation: half the samples survive, the stride doubles, and
+        # aggregates keep counting every observation.
+        from repro.obs.metrics import Histogram
+        histogram = Histogram(sample_limit=8)
+        for value in range(8):
+            histogram.observe(float(value))
+        assert len(histogram._samples) == 4
+        assert histogram._stride == 2
+        assert histogram._samples == [0.0, 2.0, 4.0, 6.0]
+        assert histogram.count == 8
+        assert histogram.min == 0.0 and histogram.max == 7.0
+        # Quantiles interpolate over the surviving, evenly-spaced subset.
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(100) == 6.0
+        assert histogram.percentile(50) == pytest.approx(3.0)
+
+    def test_decimation_is_deterministic_across_runs(self):
+        from repro.obs.metrics import Histogram
+        def run():
+            histogram = Histogram(sample_limit=16)
+            for value in range(1000):
+                histogram.observe(float(value))
+            return (histogram.percentile(50), histogram.percentile(90),
+                    len(histogram._samples), histogram._stride)
+        assert run() == run()
+
+
 class TestTraceBus:
     def test_fan_out_to_multiple_sinks(self):
         bus = TraceBus()

@@ -1,0 +1,102 @@
+"""The observability overhead budget.
+
+Two guarantees the scorecard's collectors rely on:
+
+* **bit-identical results** -- attaching an (inert) ``Observability``
+  must not change what the simulator computes, and a run with hooks
+  disabled must reproduce the committed golden digest exactly;
+* **bounded wall-time cost** -- metrics-only observability (no trace
+  sinks attached) stays within a fixed factor of a hookless run, so
+  leaving the hooks wired through the benchmark suite is affordable.
+"""
+
+import json
+import os
+import time
+
+from repro.asm import build
+from repro.core import CoreConfig, SnapProcessor
+from repro.obs import Observability
+from repro.sensors.ports import LedPort
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "goldens",
+                      "obs_budget_digest.json")
+
+#: Inert observability (metrics only, no sinks) may cost at most this
+#: factor over a hookless run; measured ~1.5x, the margin absorbs CI
+#: noise without letting a quadratic regression slip through.
+BUDGET_FACTOR = 5.0
+
+BLINK = """
+boot:
+    movi r1, 0
+    movi r2, handler
+    setaddr r1, r2
+    movi r1, 0
+    movi r2, 100
+    schedlo r1, r2
+    done
+handler:
+    ld r3, 0(r0)
+    xori r3, 1
+    st r3, 0(r0)
+    movi r4, 0x4000
+    or r4, r3
+    mov r15, r4
+    movi r1, 0
+    movi r2, 100
+    schedlo r1, r2
+    done
+"""
+
+
+def _run(obs=None, until=0.02):
+    processor = SnapProcessor(config=CoreConfig(voltage=0.6))
+    processor.mcp.attach_port(0, LedPort())
+    processor.load(build(BLINK))
+    if obs is not None:
+        processor.attach_observability(obs)
+    processor.run(until=until)
+    return processor
+
+
+def _digest(processor):
+    meter = processor.meter
+    return {"instructions": meter.instructions,
+            "wakeups": meter.wakeups,
+            "energy_pj": round(meter.total_energy * 1e12, 6),
+            "dmem0": processor.dmem.peek(0),
+            "sim_time_s": processor.kernel.now}
+
+
+def _best_of(n, factory):
+    times = []
+    for _ in range(n):
+        started = time.perf_counter()
+        _run(obs=factory())
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+class TestBitIdentical:
+    def test_hookless_run_matches_golden_digest(self):
+        digest = _digest(_run(obs=None))
+        with open(GOLDEN) as handle:
+            assert digest == json.load(handle)
+
+    def test_attached_observability_changes_nothing(self):
+        plain = _digest(_run(obs=None))
+        observed = _digest(_run(obs=Observability()))
+        profiled = _digest(_run(obs=Observability(profile=True)))
+        assert observed == plain
+        assert profiled == plain
+
+
+class TestWallTimeBudget:
+    def test_inert_observability_within_budget(self):
+        # Best-of-3 on both sides to shed scheduler noise.
+        plain = _best_of(3, lambda: None)
+        inert = _best_of(3, lambda: Observability())
+        assert inert <= plain * BUDGET_FACTOR, (
+            "inert observability cost %.1fx (budget %.1fx): %.4fs vs %.4fs"
+            % (inert / plain, BUDGET_FACTOR, inert, plain))

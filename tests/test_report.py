@@ -1,0 +1,231 @@
+"""The paper-fidelity scorecard: claims registry sanity, end-to-end
+grading of a full harness collection, the committed-baseline gate, and
+the perturbation self-test that proves the gate trips on calibration
+drift."""
+
+import json
+import os
+
+import pytest
+
+from repro.report import (
+    CLAIMS,
+    GRADE_DRIFT,
+    GRADE_MATCH,
+    GRADE_MISSING,
+    GRADE_SHAPE_VIOLATION,
+    GRADE_WITHIN_BAND,
+    MissingMeasurement,
+    ShapeClaim,
+    ValueClaim,
+    claims_by_id,
+    collect,
+    compare_to_baseline,
+    evaluate,
+    experiments_block,
+    fidelity_payload,
+    markdown_scorecard,
+    measurements_view,
+    perturb_measurements,
+)
+from repro.report.collect import COLLECTORS
+from repro.report.evaluate import evaluate_claim
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "goldens",
+                      "fidelity_baseline.json")
+
+
+@pytest.fixture(scope="session")
+def entries():
+    """One full harness collection shared by every grading test."""
+    return collect()
+
+
+@pytest.fixture(scope="session")
+def measurements(entries):
+    return measurements_view(entries)
+
+
+@pytest.fixture(scope="session")
+def scorecard(measurements):
+    return evaluate(measurements)
+
+
+class TestClaimsRegistry:
+    def test_ids_unique_and_nonempty(self):
+        by_id = claims_by_id()
+        assert len(by_id) == len(CLAIMS)
+        assert len(CLAIMS) > 100
+
+    def test_every_claim_names_a_known_benchmark(self):
+        for claim in CLAIMS:
+            assert claim.benchmark in COLLECTORS, claim.id
+
+    def test_value_claim_bands_are_sane(self):
+        for claim in CLAIMS:
+            if not isinstance(claim, ValueClaim):
+                continue
+            if claim.band_abs is not None:
+                assert claim.band_abs > 0, claim.id
+            else:
+                low, high = claim.band
+                assert low < 1.0 < high, claim.id
+                assert claim.match_rel > 0, claim.id
+
+    def test_registry_covers_every_benchmark(self):
+        # Every collector payload backs at least one claim, so a
+        # benchmark silently dropped from the suite surfaces as missing.
+        claimed = {claim.benchmark for claim in CLAIMS}
+        assert claimed == set(COLLECTORS)
+
+
+class TestFullCollection:
+    def test_every_claim_gradeable(self, scorecard):
+        missing = [r.id for r in scorecard.results
+                   if r.grade == GRADE_MISSING]
+        assert missing == []
+
+    def test_gate_passes(self, scorecard):
+        ok, failures = scorecard.gate()
+        assert ok, [(r.id, r.grade, r.detail) for r in failures]
+
+    def test_grades_match_committed_baseline(self, scorecard):
+        with open(GOLDEN) as handle:
+            baseline = json.load(handle)["grades"]
+        diff = compare_to_baseline(scorecard, baseline)
+        assert diff["regressions"] == []
+        assert diff["new"] == []
+        assert diff["removed"] == []
+        # The simulator is deterministic, so the grades are too.
+        assert scorecard.grades() == baseline
+
+    def test_ingest_path_grades_identically(self, entries, scorecard,
+                                            tmp_path):
+        from repro.report import load_results_dir
+        for name, entry in entries.items():
+            payload = {"benchmark": name, "results": entry["results"],
+                       "metrics": entry["metrics"], "host": entry["host"]}
+            path = tmp_path / ("BENCH_%s.json" % name)
+            path.write_text(json.dumps(payload))
+        loaded = load_results_dir(str(tmp_path))
+        assert set(loaded) == set(entries)
+        regraded = evaluate(measurements_view(loaded))
+        assert regraded.grades() == scorecard.grades()
+
+
+class TestPerturbationGate:
+    def test_calibration_drift_trips_the_gate(self, measurements):
+        perturbed = perturb_measurements(measurements, 1.4)
+        graded = evaluate(perturbed)
+        ok, failures = graded.gate()
+        assert not ok
+        counts = graded.counts()
+        # A 40% calibration error must push a broad swath of the energy
+        # claims out of band, not just a couple.
+        assert counts[GRADE_DRIFT] >= 20
+        # And it must register as a regression against the baseline.
+        with open(GOLDEN) as handle:
+            baseline = json.load(handle)["grades"]
+        diff = compare_to_baseline(graded, baseline)
+        assert len(diff["regressions"]) >= 20
+
+    def test_tiny_drift_stays_inside_the_bands(self, measurements):
+        perturbed = perturb_measurements(measurements, 1.004)
+        graded = evaluate(perturbed)
+        assert graded.counts()[GRADE_DRIFT] == 0
+
+    def test_perturbation_does_not_mutate_the_input(self, measurements):
+        before = json.dumps(measurements, sort_keys=True)
+        perturb_measurements(measurements, 2.0)
+        assert json.dumps(measurements, sort_keys=True) == before
+
+
+def _value_claim(**overrides):
+    spec = dict(id="t.value", section="T", metric="m", benchmark="b",
+                source="paper", unit="pJ", expected=100.0,
+                extract=lambda m: m["v"], band=(0.9, 1.1))
+    spec.update(overrides)
+    return ValueClaim(**spec)
+
+
+class TestEvaluator:
+    def test_relative_band_grades(self):
+        claim = _value_claim()
+        assert evaluate_claim(claim, {"v": 100.5}).grade == GRADE_MATCH
+        assert evaluate_claim(claim, {"v": 107.0}).grade == GRADE_WITHIN_BAND
+        assert evaluate_claim(claim, {"v": 120.0}).grade == GRADE_DRIFT
+        assert evaluate_claim(claim, {"v": 80.0}).grade == GRADE_DRIFT
+
+    def test_absolute_band_grades(self):
+        claim = _value_claim(band=None, band_abs=10.0, match_abs=1.0)
+        assert evaluate_claim(claim, {"v": 100.9}).grade == GRADE_MATCH
+        assert evaluate_claim(claim, {"v": 108.0}).grade == GRADE_WITHIN_BAND
+        assert evaluate_claim(claim, {"v": 111.0}).grade == GRADE_DRIFT
+
+    def test_delta_rel_reported(self):
+        result = evaluate_claim(_value_claim(), {"v": 110.0})
+        assert result.delta_rel == pytest.approx(0.10)
+        assert result.measured == 110.0
+        assert result.expected == 100.0
+
+    def test_missing_measurement(self):
+        def extract(measurements):
+            raise MissingMeasurement("nope")
+        result = evaluate_claim(_value_claim(extract=extract), {})
+        assert result.grade == GRADE_MISSING
+        assert "nope" in result.detail
+
+    def test_shape_claim(self):
+        claim = ShapeClaim(id="t.shape", section="T", metric="ordering",
+                           benchmark="b", source="paper",
+                           check=lambda m: (m["a"] < m["b"],
+                                            "a=%d b=%d" % (m["a"], m["b"])))
+        assert evaluate_claim(claim, {"a": 1, "b": 2}).grade == GRADE_MATCH
+        bad = evaluate_claim(claim, {"a": 3, "b": 2})
+        assert bad.grade == GRADE_SHAPE_VIOLATION
+        assert bad.detail == "a=3 b=2"
+
+    def test_severity_ordering_drives_baseline_diff(self):
+        scorecard = evaluate({"v": 120.0}, claims=[_value_claim()])
+        diff = compare_to_baseline(scorecard, {"t.value": "match"})
+        assert [entry["id"] for entry in diff["regressions"]] == ["t.value"]
+        back = evaluate({"v": 100.0}, claims=[_value_claim()])
+        diff = compare_to_baseline(back, {"t.value": "drift"})
+        assert [entry["id"] for entry in diff["improvements"]] == ["t.value"]
+
+
+class TestRendering:
+    def test_markdown_scorecard_structure(self, scorecard, entries):
+        text = markdown_scorecard(scorecard, entries=entries)
+        assert text.startswith("# Paper-fidelity scorecard")
+        assert "**Gate: PASS**" in text
+        for section in ("Section 4.3", "Figure 4", "Table 1", "Figure 5",
+                        "Table 2", "Section 4.7", "Extensions"):
+            assert "## %s" % section in text, section
+        assert "## Benchmark runs" in text
+
+    def test_fidelity_payload_shape(self, scorecard, entries):
+        payload = fidelity_payload(scorecard, entries=entries)
+        assert payload["gate"]["ok"] is True
+        assert len(payload["claims"]) == len(CLAIMS)
+        assert set(payload["benchmarks"]) == set(entries)
+        json.dumps(payload)  # fully serializable
+
+    def test_experiments_block_sections(self, measurements):
+        block = experiments_block(measurements)
+        assert "snap_report" in block  # the regeneration command note
+        for needle in ("Section 4.3", "Figure 4", "Table 1", "Figure 5",
+                       "Table 2", "Section 4.7"):
+            assert needle in block, needle
+
+
+class TestCli:
+    def test_list_names_collectors(self, capsys):
+        from repro.tools.snap_report import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(COLLECTORS)
+
+    def test_empty_results_dir_is_usage_error(self, tmp_path):
+        from repro.tools.snap_report import main
+        assert main(["--results-dir", str(tmp_path)]) == 2
