@@ -1,0 +1,39 @@
+"""Simulator throughput: the batched fast-path engine vs the per-event
+reference interpreter.
+
+Not a paper claim -- a harness claim: the ROADMAP's "fast as the
+hardware allows" north star needs the simulator itself to keep up with
+multi-node experiments, and the fast path is only admissible because it
+is bit-identical to the reference engine (checked here on every
+scenario, and continuously by the fidelity scorecard since both engines
+feed the same goldens).
+
+The dumped ``BENCH_SIM_SPEED.json`` carries instructions/host-second
+and the fast-over-reference speedup per scenario; CI gates the speedup
+against ``tests/goldens/sim_speed_baseline.json`` via
+``python -m repro.bench.simspeed --check``.
+"""
+
+import time
+
+from repro.bench.reporting import dump_results, format_table
+from repro.bench.simspeed import results_table, run_all
+
+
+def test_sim_speed(benchmark):
+    started = time.perf_counter()
+    results = benchmark.pedantic(run_all, kwargs={"repeats": 1},
+                                 rounds=1, iterations=1)
+    dump_results("SIM_SPEED", results,
+                 wall_time_s=time.perf_counter() - started)
+
+    print()
+    print(results_table(results))
+
+    # run_all already asserted bit-identical meters per scenario.  The
+    # speedup floors here are deliberately loose (shared CI runners are
+    # noisy); the committed-baseline gate in repro.bench.simspeed
+    # enforces the real regression bound.
+    assert results["straightline"]["speedup"] > 3.0
+    assert results["blink"]["speedup"] > 2.0
+    assert results["convergecast"]["speedup"] > 1.2

@@ -35,7 +35,11 @@ class Outcome:
     halt: bool = False
 
 
-_FALL_THROUGH = Outcome()
+#: The shared fall-through outcome.  Executors return this exact instance
+#: for straight-line instructions, so dispatch loops can use an identity
+#: check (``outcome is FALL_THROUGH``) instead of reading four fields.
+FALL_THROUGH = Outcome()
+_FALL_THROUGH = FALL_THROUGH
 
 
 def _signed(value):

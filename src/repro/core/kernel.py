@@ -3,6 +3,13 @@
 Every component in a simulated node or network (processor core, timer
 coprocessor, radio, sensors, wireless channel) shares one kernel and
 schedules callbacks on its timeline.  Time is a float in seconds.
+
+Heap entries are mutable lists ``[time, handle, callback, args]`` indexed
+by handle in ``_live``: cancelling clears the callback slot in place and
+drops the index entry, so :meth:`cancel` is O(1), idempotent, and safe on
+handles that already fired -- nothing accumulates across long timer-heavy
+runs.  Dead entries are skipped (and popped) lazily by :meth:`step` and
+:meth:`next_time`.
 """
 
 import heapq
@@ -16,7 +23,19 @@ class Kernel:
         self._queue = []
         self._sequence = itertools.count()
         self._now = 0.0
-        self._cancelled = set()
+        #: handle -> live heap entry; cancelled/fired handles are absent.
+        self._live = {}
+        #: Bumped on every schedule; burst loops use it to know when a
+        #: cached :meth:`next_time` may have moved *earlier*.  (Cancels
+        #: can only move it later, which a stale cache handles safely.)
+        self._version = 0
+        #: Set by :meth:`run`: the ``until`` horizon of the active run
+        #: (None outside a run or for unbounded runs).
+        self._horizon = None
+        #: True while inside an unbounded :meth:`run` (no ``max_events``):
+        #: components may batch work between events.  ``step()`` called
+        #: directly -- e.g. by a debugger -- keeps single-event semantics.
+        self._burst_ok = False
 
     @property
     def now(self):
@@ -32,7 +51,10 @@ class Kernel:
         if delay < 0:
             raise ValueError("cannot schedule into the past (delay=%r)" % delay)
         handle = next(self._sequence)
-        heapq.heappush(self._queue, (self._now + delay, handle, callback, args))
+        entry = [self._now + delay, handle, callback, args]
+        self._live[handle] = entry
+        heapq.heappush(self._queue, entry)
+        self._version += 1
         return handle
 
     def schedule_at(self, time, callback, *args):
@@ -40,51 +62,90 @@ class Kernel:
         return self.schedule(time - self._now, callback, *args)
 
     def cancel(self, handle):
-        """Cancel a previously scheduled callback (lazily)."""
-        self._cancelled.add(handle)
+        """Cancel a previously scheduled callback.
+
+        O(1); a no-op when the handle already fired or was already
+        cancelled.
+        """
+        entry = self._live.pop(handle, None)
+        if entry is not None:
+            entry[2] = None
 
     @property
     def pending(self):
         """Number of scheduled (non-cancelled) events."""
-        return sum(1 for _, handle, _, _ in self._queue
-                   if handle not in self._cancelled)
+        return len(self._live)
 
     def step(self):
         """Run the next event; returns False when the queue is empty."""
-        while self._queue:
-            time, handle, callback, args = heapq.heappop(self._queue)
-            if handle in self._cancelled:
-                self._cancelled.discard(handle)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            callback = entry[2]
+            if callback is None:
                 continue
-            self._now = time
-            callback(*args)
+            del self._live[entry[1]]
+            self._now = entry[0]
+            callback(*entry[3])
             return True
         return False
 
     def run(self, until=None, max_events=None):
         """Run events until the queue drains, *until* seconds pass, or
         *max_events* callbacks have run.  Returns the number of callbacks
-        executed."""
+        executed.
+
+        When the run ends with no runnable event at or before *until*
+        (the queue drained, or the next event lies beyond the horizon),
+        the clock advances to *until* so back-to-back bounded runs and
+        timeline samplers see a consistent timeline.  A run cut short by
+        *max_events* leaves the clock at the last event executed.
+        """
         executed = 0
-        while self._queue:
-            if max_events is not None and executed >= max_events:
-                break
-            next_time = self._peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
+        saved = (self._horizon, self._burst_ok)
+        self._horizon = until
+        self._burst_ok = max_events is None
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.next_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._horizon, self._burst_ok = saved
+        if until is not None and until > self._now:
+            next_time = self.next_time()
+            if next_time is None or next_time > until:
                 self._now = until
-                break
-            self.step()
-            executed += 1
         return executed
 
-    def _peek_time(self):
-        while self._queue:
-            time, handle, _, _ = self._queue[0]
-            if handle in self._cancelled:
-                heapq.heappop(self._queue)
-                self._cancelled.discard(handle)
+    def next_time(self):
+        """Time of the next live event, or None when the queue is empty."""
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[2] is None:
+                heapq.heappop(queue)
                 continue
-            return time
+            return entry[0]
         return None
+
+    def advance(self, time):
+        """Move the clock forward without running events.
+
+        Used by batching components (the processor's instruction-burst
+        loop) that account for intermediate work themselves; *time* must
+        not exceed the next pending event's time.
+        """
+        if time < self._now:
+            raise ValueError("cannot advance backwards (%r < %r)"
+                             % (time, self._now))
+        self._now = time
+
+    # Backwards-compatible alias (pre-burst internal name).
+    _peek_time = next_time

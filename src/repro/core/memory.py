@@ -22,6 +22,11 @@ class MemoryBank:
         self._words = [0] * size_words
         self.reads = 0
         self.writes = 0
+        #: Optional ``hook(start, count)`` called after any mutation of
+        #: the bank's contents (``write``, ``poke``, ``load_image``).
+        #: The processor uses it to invalidate predecoded IMEM slots so
+        #: self-modifying code always re-decodes the rewritten words.
+        self.write_hook = None
 
     @property
     def size_bytes(self):
@@ -34,6 +39,8 @@ class MemoryBank:
                               % (self.name, len(words), base))
         for index, word in enumerate(words):
             self._words[base + index] = word & WORD_MASK
+        if self.write_hook is not None and words:
+            self.write_hook(base, len(words))
 
     def read(self, address):
         self._check(address)
@@ -44,6 +51,8 @@ class MemoryBank:
         self._check(address)
         self.writes += 1
         self._words[address] = value & WORD_MASK
+        if self.write_hook is not None:
+            self.write_hook(address, 1)
 
     def peek(self, address):
         """Debugger access: read without touching access counters."""
@@ -54,6 +63,8 @@ class MemoryBank:
         """Debugger access: write without touching access counters."""
         self._check(address)
         self._words[address] = value & WORD_MASK
+        if self.write_hook is not None:
+            self.write_hook(address, 1)
 
     def dump(self, start=0, count=None):
         """Return a slice of memory contents (for tests and debugging)."""

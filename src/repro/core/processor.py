@@ -2,22 +2,38 @@
 and timing accounting.
 
 The processor is a component on a :class:`~repro.core.kernel.Kernel`
-timeline.  While awake it schedules one kernel callback per instruction,
-spaced by the asynchronous timing model; while asleep it schedules
-nothing at all -- the QDI property that idle circuits have no switching
-activity falls out of the simulation structure itself.  An event-token
-insertion wakes it after the 18-gate-delay wakeup latency (Section 4.3).
+timeline.  While awake it advances one instruction at a time, spaced by
+the asynchronous timing model; while asleep it schedules nothing at all
+-- the QDI property that idle circuits have no switching activity falls
+out of the simulation structure itself.  An event-token insertion wakes
+it after the 18-gate-delay wakeup latency (Section 4.3).
+
+Two execution engines produce bit-identical results:
+
+* the **fast path** (default) predecodes each IMEM word once into an
+  executor-bound slot and executes straight-line instructions in a tight
+  burst loop inside a single kernel callback, advancing the kernel clock
+  directly and re-entering the event heap only when the next pending
+  event (or the run horizon) would interleave;
+* the **reference path** (``CoreConfig(fast_path=False)``) keeps the
+  pre-burst cost profile -- one kernel callback per instruction, a
+  fetch-time decode-cache probe, and a fresh delay/energy computation per
+  dynamic instruction -- and serves as the baseline for the sim-speed
+  benchmark and for differential testing.
+
+See DESIGN.md ("The fast-path execution engine") for the burst/yield
+rule and the bit-identity argument.
 """
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.coprocessors.message import MessageCoprocessor
 from repro.coprocessors.timer import DEFAULT_TICK_HZ, TimerCoprocessor
 from repro.core.event_queue import POLICY_DROP, EventQueue
 from repro.core.exceptions import SimulationDeadlock, SimulationError
-from repro.core.execute import execute
+from repro.core.execute import EXECUTORS, FALL_THROUGH, execute
 from repro.core.kernel import Kernel
 from repro.core.lfsr import Lfsr16
 from repro.core.memory import MemoryBank
@@ -30,6 +46,8 @@ from repro.isa.encoding import decode
 from repro.isa.events import NUM_EVENTS, Event
 from repro.isa.opcodes import Opcode, spec_for
 from repro.isa.registers import REG_MSG
+
+_INFINITY = float("inf")
 
 
 class Mode(enum.Enum):
@@ -67,6 +85,11 @@ class CoreConfig:
     #: Optional per-instruction trace callback:
     #: ``trace_fn(processor, time, pc, instruction)``.
     trace_fn: Optional[Callable] = None
+    #: Use the batched fast-path engine (predecoded IMEM + instruction
+    #: bursts).  ``False`` selects the per-event reference interpreter
+    #: with the pre-burst cost profile; results are bit-identical either
+    #: way.
+    fast_path: bool = True
 
 
 class SnapProcessor:
@@ -119,6 +142,18 @@ class SnapProcessor:
         self._instruction_budget_used = 0
         self._step_pending = False
         self._decode_cache = {}
+
+        self._fast_path = self.config.fast_path
+        #: Predecoded IMEM: one slot per word, built lazily by
+        #: :meth:`_predecode` and invalidated by the IMEM write hook.
+        self._predec = None
+        if self._fast_path:
+            self._predec = [None] * self.config.imem_words
+            self.imem.write_hook = self._invalidate_predecode
+        #: Fast-path burst statistics (host-side, no simulation effect):
+        #: number of burst entries and instructions retired inside bursts.
+        self.bursts = 0
+        self.burst_instructions = 0
 
         #: Optional :class:`~repro.obs.Observability` context.  ``None``
         #: (the default) means every hook site is a single skipped
@@ -213,11 +248,278 @@ class SnapProcessor:
             self.mode = Mode.RUNNING
             if not self._dispatch():
                 return
+        if self._fast_path and self.kernel._burst_ok:
+            self._burst()
+        else:
+            self._step_once()
 
-        instruction = self._fetch()
-        if self._stall_needed(instruction):
-            self.mode = Mode.STALLED
-            return
+    # -- the batched fast path -------------------------------------------------
+
+    def _invalidate_predecode(self, start, count):
+        """IMEM write hook: drop slots whose words were rewritten.
+
+        The slot at ``start - 1`` may be a two-word instruction whose
+        second word just changed, so it is invalidated too.
+        """
+        predec = self._predec
+        lower = start - 1 if start > 0 else 0
+        upper = start + count
+        if upper > len(predec):
+            upper = len(predec)
+        for index in range(lower, upper):
+            predec[index] = None
+
+    def _predecode(self, pc):
+        """Decode the instruction at *pc* into an executor-bound slot.
+
+        Charges nothing: IMEM read accounting happens when a dynamic
+        instruction actually proceeds past its stall check.
+        """
+        imem = self.imem
+        first = imem.peek(pc)
+        opcode_value = first >> 10
+        try:
+            spec = spec_for(Opcode(opcode_value))
+        except ValueError:
+            raise SimulationError(
+                "%s: illegal opcode 0x%02x at pc=0x%04x"
+                % (self.name, opcode_value, pc)) from None
+        words = [first]
+        if spec.two_word:
+            words.append(imem.peek(pc + 1))
+        instruction, _ = decode(words)
+
+        breakdown = self.energy_model.instruction_energy(spec)
+        delay_not_taken = self.timing.instruction_delay(spec, taken=False)
+        delay_taken = self.timing.instruction_delay(spec, taken=True)
+        r15_reads = 0
+        if spec.reads_rd and instruction.rd == REG_MSG:
+            r15_reads += 1
+        if spec.reads_rs and instruction.rs == REG_MSG:
+            r15_reads += 1
+        # A slot is "meter-safe" when executing it cannot touch the
+        # EnergyMeter through a side channel while the burst loop holds
+        # ``total_energy`` in a local: r15 traffic can raise event tokens
+        # via the message coprocessor, and ``cancel`` inserts a token
+        # synchronously -- both call record_event_token.  (``schedlo`` /
+        # ``schedhi`` only move kernel events, which the burst's
+        # next-event cache handles via the kernel version counter.)
+        meter_safe = (r15_reads == 0
+                      and not (spec.writes_rd and instruction.rd == REG_MSG)
+                      and spec.opcode is not Opcode.CANCEL)
+        slot = (instruction, EXECUTORS[instruction.opcode], instruction.size,
+                spec.instr_class, delay_not_taken, delay_taken,
+                breakdown.total, breakdown.imem, breakdown.dmem,
+                breakdown.datapath, breakdown.fetch, breakdown.decode,
+                breakdown.mem_if, breakdown.misc, breakdown,
+                r15_reads, meter_safe)
+        self._predec[pc] = slot
+        return slot
+
+    def _raise_budget_exceeded(self):
+        raise SimulationError(
+            "%s exceeded the instruction budget of %d -- runaway program?"
+            % (self.name, self.config.max_instructions))
+
+    def _burst(self):
+        """Execute instructions in a tight loop inside one kernel event.
+
+        Invariants, per iteration: the kernel clock equals the fetch time
+        of the current instruction (so timer scheduling, dispatch-latency
+        accounting, trace and obs hooks observe exactly the times the
+        per-event engine would); the hot meter accumulators live in
+        locals and are written back before anything else can observe or
+        mutate the meter (yield, stall, sleep, halt, dispatch, a
+        non-meter-safe instruction, or an exception).
+
+        The loop yields back to the kernel heap -- scheduling the next
+        step callback after the current instruction's delay -- as soon as
+        the accumulated time would pass the next pending kernel event or
+        the run horizon.
+        """
+        kernel = self.kernel
+        meter = self.meter
+        mcp = self.mcp
+        obs = self.obs
+        trace_fn = self.config.trace_fn
+        predec = self._predec
+        imem = self.imem
+        by_class = meter.by_class
+        by_handler = meter.by_handler
+
+        limit = self.config.max_instructions
+        if limit is None:
+            limit = _INFINITY
+        budget = self._instruction_budget_used
+
+        now = kernel._now
+        horizon = kernel._horizon
+        if horizon is None:
+            horizon = _INFINITY
+        version = kernel._version
+        next_event = kernel.next_time()
+        if next_event is None:
+            next_event = _INFINITY
+
+        pc = self.pc
+        tag = self.current_tag
+
+        (m_ins, m_cyc, m_total, m_busy, m_imem, m_dmem,
+         b_datapath, b_fetch, b_decode, b_mem_if, b_misc) = meter.hoist_hot()
+        hstats = by_handler[tag]
+        h_ins = hstats.instructions
+        h_cyc = hstats.cycles
+        h_en = hstats.energy
+        self.bursts += 1
+        try:
+            while True:
+                try:
+                    slot = predec[pc]
+                except IndexError:
+                    imem._check(pc)  # raises MemoryFault with bank context
+                    raise
+                if slot is None:
+                    slot = self._predecode(pc)
+                (instruction, executor, size, cls, delay_nt, delay_tk,
+                 e_total, e_imem, e_dmem, e_datapath, e_fetch, e_decode,
+                 e_mem_if, e_misc, breakdown, r15_reads, meter_safe) = slot
+
+                if meter_safe:
+                    imem.reads += size
+                    self.pc = pc
+                    if trace_fn is not None:
+                        trace_fn(self, now, pc, instruction)
+                    outcome = executor(self, instruction)
+                else:
+                    if r15_reads > mcp.outgoing_available():
+                        self.mode = Mode.STALLED
+                        self.pc = pc
+                        return
+                    imem.reads += size
+                    self.pc = pc
+                    if trace_fn is not None:
+                        trace_fn(self, now, pc, instruction)
+                    # The executor may add event-token energy to
+                    # ``total_energy`` through the coprocessors; sync the
+                    # hoisted local around the call so every addition
+                    # lands in the same order as the per-event engine.
+                    meter.total_energy = m_total
+                    try:
+                        outcome = executor(self, instruction)
+                    finally:
+                        m_total = meter.total_energy
+
+                if outcome is FALL_THROUGH:
+                    delay = delay_nt
+                    next_pc = pc + size
+                    control = False
+                else:
+                    delay = delay_tk if outcome.taken else delay_nt
+                    next_pc = outcome.next_pc
+                    if next_pc is None:
+                        next_pc = pc + size
+                    control = outcome.done or outcome.halt
+
+                m_ins += 1
+                m_cyc += size
+                m_total += e_total
+                m_busy += delay
+                m_imem += e_imem
+                m_dmem += e_dmem
+                b_datapath += e_datapath
+                b_fetch += e_fetch
+                b_decode += e_decode
+                b_mem_if += e_mem_if
+                b_misc += e_misc
+                class_stats = by_class[cls]
+                class_stats.count += 1
+                class_stats.energy += e_total
+                h_ins += 1
+                h_cyc += size
+                h_en += e_total
+                if obs is not None:
+                    obs.instruction_retired(self.name, now, pc, instruction,
+                                            tag, e_total, delay)
+                budget += 1
+                if budget > limit:
+                    self._raise_budget_exceeded()
+                self.burst_instructions += 1
+
+                if control:
+                    if outcome.halt:
+                        self.mode = Mode.HALTED
+                        return
+                    # done: flush the per-handler stats before dispatch
+                    # touches them (invocations) and swap to the new tag.
+                    # The other hoisted accumulators are untouched by
+                    # dispatch and stay in locals.
+                    hstats.instructions = h_ins
+                    hstats.cycles = h_cyc
+                    hstats.energy = h_en
+                    if not self._dispatch():
+                        return
+                    pc = self.pc
+                    tag = self.current_tag
+                    hstats = by_handler[tag]
+                    h_ins = hstats.instructions
+                    h_cyc = hstats.cycles
+                    h_en = hstats.energy
+                    next_pc = pc
+
+                finish = now + delay
+                if kernel._version != version:
+                    version = kernel._version
+                    next_event = kernel.next_time()
+                    if next_event is None:
+                        next_event = _INFINITY
+                if next_event <= finish or finish > horizon:
+                    self.pc = next_pc
+                    self._schedule_step(delay)
+                    return
+                now = finish
+                kernel._now = finish
+                pc = next_pc
+        finally:
+            meter.absorb_hot(m_ins, m_cyc, m_total, m_busy, m_imem,
+                             m_dmem, b_datapath, b_fetch, b_decode,
+                             b_mem_if, b_misc)
+            hstats.instructions = h_ins
+            hstats.cycles = h_cyc
+            hstats.energy = h_en
+            self._instruction_budget_used = budget
+
+    # -- the per-event path ----------------------------------------------------
+
+    def _step_once(self):
+        """Execute exactly one instruction in this kernel callback.
+
+        Used by the reference interpreter (``fast_path=False``) and
+        whenever the kernel is being single-stepped (a bare
+        ``kernel.step()`` or a ``max_events`` run), where one callback
+        must retire at most one instruction.
+        """
+        fast = self._fast_path
+        if fast:
+            try:
+                slot = self._predec[self.pc]
+            except IndexError:
+                self.imem._check(self.pc)
+                raise
+            if slot is None:
+                slot = self._predecode(self.pc)
+            instruction = slot[0]
+            if slot[15] > self.mcp.outgoing_available():
+                self.mode = Mode.STALLED
+                return
+        else:
+            instruction = self._fetch()
+            if self._stall_needed(instruction):
+                self.mode = Mode.STALLED
+                return
+        # One IMEM read per word, charged only when the instruction
+        # proceeds -- a stalled instruction retrying later is one dynamic
+        # instruction and must not be charged twice.
+        self.imem.reads += instruction.size
 
         if self.config.trace_fn is not None:
             self.config.trace_fn(self, self.kernel.now, self.pc, instruction)
@@ -225,10 +527,18 @@ class SnapProcessor:
         pc = self.pc
         outcome = execute(self, instruction)
 
-        spec = instruction.spec
-        delay = self.timing.instruction_delay(spec, taken=outcome.taken)
-        breakdown = self.energy_model.instruction_energy(spec)
-        self.meter.record_instruction(spec, breakdown, delay,
+        if fast:
+            delay = slot[5] if outcome.taken else slot[4]
+            breakdown = slot[14]
+        else:
+            # Reference cost profile: recompute delay and energy from
+            # scratch for every dynamic instruction, as the pre-burst
+            # interpreter did.
+            spec = instruction.spec
+            delay = gate_delays_for(spec, taken=outcome.taken) \
+                * self.timing.gate_delay
+            breakdown = self.energy_model.compute_instruction_energy(spec)
+        self.meter.record_instruction(instruction.spec, breakdown, delay,
                                       handler_tag=self.current_tag)
         if self.obs is not None:
             self.obs.instruction_retired(
@@ -250,17 +560,22 @@ class SnapProcessor:
         self._schedule_step(delay)
 
     def _fetch(self):
+        """Reference-path fetch: decode-cache probe with word compare.
+
+        Reads go through ``peek``: the per-word access charge lands in
+        ``_step_once`` after the stall check so a stalled retry is not
+        double-counted.
+        """
         cached = self._decode_cache.get(self.pc)
-        words = [self.imem.read(self.pc)]
-        if cached is not None and cached[0] == words[0]:
+        first = self.imem.peek(self.pc)
+        if cached is not None and cached[0] == first:
             instruction = cached[1]
             if instruction.size == 2:
-                second = self.imem.read(self.pc + 1)
+                second = self.imem.peek(self.pc + 1)
                 if second != cached[2]:
-                    instruction, _ = decode([words[0], second])
-                    self._decode_cache[self.pc] = (words[0], instruction, second)
+                    instruction, _ = decode([first, second])
+                    self._decode_cache[self.pc] = (first, instruction, second)
             return instruction
-        first = words[0]
         opcode_value = first >> 10
         try:
             spec = spec_for(Opcode(opcode_value))
@@ -268,8 +583,9 @@ class SnapProcessor:
             raise SimulationError(
                 "%s: illegal opcode 0x%02x at pc=0x%04x"
                 % (self.name, opcode_value, self.pc)) from None
+        words = [first]
         if spec.two_word:
-            words.append(self.imem.read(self.pc + 1))
+            words.append(self.imem.peek(self.pc + 1))
         instruction, _ = decode(words)
         self._decode_cache[self.pc] = (
             first, instruction, words[1] if len(words) > 1 else None)

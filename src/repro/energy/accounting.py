@@ -71,17 +71,22 @@ class EnergyMeter:
     def record_instruction(self, spec, breakdown, delay, handler_tag=None):
         """Account one executed instruction."""
         words = 2 if spec.two_word else 1
+        total = breakdown.total
         self.instructions += 1
         self.cycles += words
-        self.total_energy += breakdown.total
+        self.total_energy += total
         self.busy_time += delay
 
         stats = self.by_class[spec.instr_class]
         stats.count += 1
-        stats.energy += breakdown.total
+        stats.energy += total
 
-        for bucket in CORE_BUCKETS:
-            self.by_bucket[bucket] += breakdown.bucket(bucket)
+        bucket = self.by_bucket
+        bucket["datapath"] += breakdown.datapath
+        bucket["fetch"] += breakdown.fetch
+        bucket["decode"] += breakdown.decode
+        bucket["mem_if"] += breakdown.mem_if
+        bucket["misc"] += breakdown.misc
         self.imem_energy += breakdown.imem
         self.dmem_energy += breakdown.dmem
 
@@ -89,7 +94,44 @@ class EnergyMeter:
             handler = self.by_handler[handler_tag]
             handler.instructions += 1
             handler.cycles += words
-            handler.energy += breakdown.total
+            handler.energy += total
+
+    # -- bulk accumulation (the processor's instruction-burst loop) -----------
+    #
+    # A burst loop hoists the hot accumulators into locals, performs the
+    # same sequence of ``+=`` per instruction on those locals, and stores
+    # the results back.  Because each accumulator sees the identical
+    # additions in the identical order, the written-back floats are
+    # bit-identical to per-instruction :meth:`record_instruction` calls.
+    # The burst must write back (and re-hoist) around any operation that
+    # touches the meter through another path -- e.g. an event-token
+    # insertion adding to ``total_energy``.
+
+    def hoist_hot(self):
+        """Snapshot the hot accumulators for a burst loop, in the order
+        expected by :meth:`absorb_hot`."""
+        bucket = self.by_bucket
+        return (self.instructions, self.cycles, self.total_energy,
+                self.busy_time, self.imem_energy, self.dmem_energy,
+                bucket["datapath"], bucket["fetch"], bucket["decode"],
+                bucket["mem_if"], bucket["misc"])
+
+    def absorb_hot(self, instructions, cycles, total_energy, busy_time,
+                   imem_energy, dmem_energy, datapath, fetch, decode,
+                   mem_if, misc):
+        """Store back accumulators previously taken by :meth:`hoist_hot`."""
+        self.instructions = instructions
+        self.cycles = cycles
+        self.total_energy = total_energy
+        self.busy_time = busy_time
+        self.imem_energy = imem_energy
+        self.dmem_energy = dmem_energy
+        bucket = self.by_bucket
+        bucket["datapath"] = datapath
+        bucket["fetch"] = fetch
+        bucket["decode"] = decode
+        bucket["mem_if"] = mem_if
+        bucket["misc"] = misc
 
     def record_wakeup(self, energy):
         self.wakeups += 1

@@ -70,7 +70,7 @@ class ConvergecastResult:
 
 
 def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
-                 voltage=0.6, seed=0, sample_every=None):
+                 voltage=0.6, seed=0, sample_every=None, fast_path=True):
     """Run a convergecast chain: node N .. node 2 report to node 1.
 
     Nodes sit on a line with radio range one hop; every non-sink node
@@ -80,9 +80,11 @@ def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
     With *sample_every* set, an energy-timeline sampler snapshots every
     node on that period and the result carries the drain time-series in
     its ``drain`` field (the sampler only reads state, so the sampled
-    run is bit-identical to an unsampled one).
+    run is bit-identical to an unsampled one).  *fast_path* selects the
+    cores' execution engine (results are bit-identical either way; the
+    sim-speed benchmark runs both).
     """
-    config = CoreConfig(voltage=voltage)
+    config = CoreConfig(voltage=voltage, fast_path=fast_path)
     net = NetworkSimulator(comm_range=1.5)
     period_ticks = int(period_s * 1e6)
 

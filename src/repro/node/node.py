@@ -100,6 +100,14 @@ class SensorNode:
                 "wakeups": meter.wakeups,
                 "dispatches": meter.dispatch_count,
                 "mode": processor.mode.value,
+                "imem_reads": processor.imem.reads,
+                "dmem_reads": processor.dmem.reads,
+                "dmem_writes": processor.dmem.writes,
+                # Host-side fast-path statistics: how much work the burst
+                # engine batched per kernel event (zero on the reference
+                # interpreter).
+                "bursts": processor.bursts,
+                "burst_instructions": processor.burst_instructions,
             },
             "event_queue": {
                 "inserted": processor.event_queue.inserted,

@@ -4,8 +4,9 @@ run on the simulated SNAP core, and checked against a Python oracle that
 interprets the same program with 16-bit unsigned semantics."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
+from repro.asm.errors import LinkError
 from repro.cc import build_c_node
 from repro.core import CoreConfig, SnapProcessor
 
@@ -200,7 +201,13 @@ def test_compiled_programs_match_the_oracle(initial, program):
     for stmt in program:
         exec_stmt(stmt, env)
 
-    linked = build_c_node(source)
+    try:
+        linked = build_c_node(source)
+    except LinkError:
+        # Deeply nested generated statements can compile to more text
+        # than the 2048-word IMEM holds; program size is the linker's
+        # concern, not this differential property's.
+        assume(False)
     processor = SnapProcessor(config=CoreConfig(voltage=1.8,
                                                 max_instructions=3_000_000))
     processor.load(linked)

@@ -78,6 +78,82 @@ class TestKernel:
             kernel.schedule(1.0, lambda: None)
         assert kernel.run(max_events=4) == 4
 
+    def test_cancel_after_fire_does_not_leak(self):
+        """Cancelling a handle that already fired must not retain state.
+
+        Regression: cancelled handles used to be remembered in a set
+        forever when the cancel arrived after the event had fired, which
+        leaked memory across long timer-heavy runs.
+        """
+        kernel = Kernel()
+        fired = []
+        handle = kernel.schedule(1.0, fired.append, "x")
+        kernel.run()
+        assert fired == ["x"]
+        kernel.cancel(handle)
+        assert kernel._live == {}
+        assert kernel.pending == 0
+
+    def test_double_cancel_is_idempotent(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.schedule(1.0, fired.append, "x")
+        kernel.cancel(handle)
+        kernel.cancel(handle)
+        kernel.run()
+        assert fired == []
+        assert kernel._live == {}
+
+    def test_pending_excludes_cancelled(self):
+        kernel = Kernel()
+        handles = [kernel.schedule(1.0, lambda: None) for _ in range(3)]
+        assert kernel.pending == 3
+        kernel.cancel(handles[1])
+        assert kernel.pending == 2
+        kernel.run()
+        assert kernel.pending == 0
+
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        """run(until=T) must leave now == T even if the queue drained
+        before T -- back-to-back bounded runs see a consistent timeline."""
+        kernel = Kernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run(until=5.0)
+        assert kernel.now == 5.0
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        kernel = Kernel()
+        kernel.run(until=2.0)
+        assert kernel.now == 2.0
+        kernel.run(until=4.0)
+        assert kernel.now == 4.0
+
+    def test_event_exactly_at_until_runs(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(2.0, fired.append, 1)
+        kernel.run(until=2.0)
+        assert fired == [1]
+        assert kernel.now == 2.0
+
+    def test_max_events_cut_short_does_not_jump_to_until(self):
+        """A run stopped by max_events stays at the last event executed;
+        only a run that exhausted its runnable events advances to until."""
+        kernel = Kernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None)
+        kernel.run(until=5.0, max_events=1)
+        assert kernel.now == 1.0
+        kernel.run(until=5.0)
+        assert kernel.now == 5.0
+
+    def test_advance_rejects_backwards_time(self):
+        kernel = Kernel()
+        kernel.advance(1.0)
+        assert kernel.now == 1.0
+        with pytest.raises(ValueError):
+            kernel.advance(0.5)
+
 
 class TestMemoryBank:
     def test_read_write(self):
