@@ -12,16 +12,25 @@ their MAC/routing libraries.
 """
 
 from repro.asm.errors import AsmError, LinkError
-from repro.asm.objectfile import ObjectModule, Program, Relocation, Symbol
+from repro.asm.objectfile import (
+    LineEntry,
+    ObjectModule,
+    Program,
+    Relocation,
+    SourceLoc,
+    Symbol,
+)
 from repro.asm.assembler import assemble
 from repro.asm.linker import link
 
 __all__ = [
     "AsmError",
     "LinkError",
+    "LineEntry",
     "ObjectModule",
     "Program",
     "Relocation",
+    "SourceLoc",
     "Symbol",
     "assemble",
     "link",

@@ -10,6 +10,8 @@ Syntax overview::
     .space N              ; N zero words
     .ascii "text"         ; one character per 16-bit word
     .org OFFSET           ; pad current section to a module-relative offset
+    .file "app.c"         ; source file for following .loc directives
+    .loc N                ; following text words came from source line N
 
     label:                ; labels beginning with '.' are module-local
         movi r1, 0x1234
@@ -32,6 +34,7 @@ from repro.asm.objectfile import (
     RELOC_BRANCH6,
     SECTION_DATA,
     SECTION_TEXT,
+    LineEntry,
     ObjectModule,
     Relocation,
     Symbol,
@@ -68,6 +71,11 @@ class _Assembler:
         self._equs = {}
         #: (section, word_offset, symbol, addend, line) for branch fixups.
         self._branch_fixups = []
+        #: Source file named by ``.file`` (None -> the module name).
+        self._file = None
+        #: Active ``.loc`` position, or None to fall back to the
+        #: assembly line itself.
+        self._loc = None
 
     # -- driving --------------------------------------------------------
 
@@ -136,8 +144,25 @@ class _Assembler:
             self._ascii(rest)
         elif directive == ".org":
             self._org(rest)
+        elif directive == ".file":
+            self._file_directive(rest)
+        elif directive == ".loc":
+            self._loc_directive(rest)
         else:
             self._error("unknown directive %r" % directive)
+
+    def _file_directive(self, rest):
+        rest = rest.strip()
+        if len(rest) < 2 or rest[0] != '"' or rest[-1] != '"':
+            self._error('.file needs a double-quoted name')
+        self._file = rest[1:-1]
+        self._loc = None
+
+    def _loc_directive(self, rest):
+        value = self._evaluate(rest)
+        if not value.is_constant or value.constant < 0:
+            self._error(".loc needs a non-negative constant line number")
+        self._loc = (self._file or self._name, value.constant)
 
     def _equ(self, rest):
         name, _, expr_text = rest.partition(",")
@@ -195,9 +220,26 @@ class _Assembler:
 
     # -- instructions -----------------------------------------------------
 
+    def _record_line(self):
+        """Annotate the next text word with its source position.
+
+        A ``.loc`` from a higher-level compiler wins; hand-written
+        assembly falls back to the module name and the assembly line.
+        Consecutive words from the same position share one entry.
+        """
+        if self._loc is not None:
+            file, line = self._loc
+        else:
+            file, line = self._name, self._line
+        lines = self._module.lines
+        if lines and lines[-1].file == file and lines[-1].line == line:
+            return
+        lines.append(LineEntry(offset=len(self._words), file=file, line=line))
+
     def _instruction(self, text):
         if self._section != SECTION_TEXT:
             self._error("instructions are only allowed in .text")
+        self._record_line()
         parts = text.split(None, 1)
         mnemonic = parts[0].lower()
         operand_text = parts[1] if len(parts) > 1 else ""

@@ -34,11 +34,11 @@ def link(modules, imem_words=IMEM_WORDS, dmem_words=DMEM_WORDS):
         dmem.extend(module.data)
 
     if len(imem) > imem_words:
-        raise LinkError("program text (%d words) exceeds IMEM (%d words)"
-                        % (len(imem), imem_words))
+        raise LinkError(_overflow_report("text", "IMEM", imem_words, modules,
+                                         lambda m: len(m.text)))
     if len(dmem) > dmem_words:
-        raise LinkError("program data (%d words) exceeds DMEM (%d words)"
-                        % (len(dmem), dmem_words))
+        raise LinkError(_overflow_report("data", "DMEM", dmem_words, modules,
+                                         lambda m: len(m.data)))
 
     bases = {SECTION_TEXT: text_bases, SECTION_DATA: data_bases}
 
@@ -68,7 +68,58 @@ def link(modules, imem_words=IMEM_WORDS, dmem_words=DMEM_WORDS):
                 qualified = "%s:%s" % (module.name, symbol.name)
                 symbols[qualified] = (bases[symbol.section][module.name]
                                       + symbol.offset)
-    return Program(imem=imem, dmem=dmem, symbols=symbols, entry=0)
+
+    line_table = []
+    for module in modules:
+        base = text_bases[module.name]
+        for entry in module.lines:
+            line_table.append((base + entry.offset, entry.file, entry.line))
+    line_table.sort()
+
+    func_table = _function_table(modules, text_bases)
+    return Program(imem=imem, dmem=dmem, symbols=symbols, entry=0,
+                   line_table=line_table, func_table=func_table)
+
+
+def _function_table(modules, text_bases):
+    """Function boundaries from text symbols: ``(address, name)`` ascending.
+
+    Dot-prefixed labels (compiler temporaries, module-local branch
+    targets) are not functions and are skipped; when an exported and a
+    local symbol share an address the exported name wins.
+    """
+    table = {}
+    for module in modules:
+        base = text_bases[module.name]
+        for symbol in module.symbols.values():
+            if symbol.section != SECTION_TEXT:
+                continue
+            if symbol.name.startswith("."):
+                continue
+            address = base + symbol.offset
+            if address not in table or symbol.exported:
+                table[address] = symbol.name
+    return sorted(table.items())
+
+
+def _overflow_report(section, bank, capacity, modules, words_of):
+    """A LinkError message with per-module sizes and the culprit module.
+
+    The culprit is the module whose words first push the cumulative
+    layout past the bank's capacity.
+    """
+    total = sum(words_of(module) for module in modules)
+    culprit = None
+    cumulative = 0
+    for module in modules:
+        cumulative += words_of(module)
+        if culprit is None and cumulative > capacity:
+            culprit = module.name
+    sizes = ", ".join("%s=%d" % (module.name, words_of(module))
+                      for module in modules if words_of(module))
+    return ("program %s (%d words) exceeds %s (%d words); "
+            "section sizes: %s; first module past the limit: %s"
+            % (section, total, bank, capacity, sizes, culprit))
 
 
 def _resolve(module, reloc, bases, global_symbols):

@@ -1,7 +1,8 @@
 """Object-module and linked-program representations."""
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 #: Section names.  ``text`` assembles into IMEM, ``data`` into DMEM.
 SECTION_TEXT = "text"
@@ -39,6 +40,41 @@ class Relocation:
     line: int = 0
 
 
+@dataclass(frozen=True)
+class LineEntry:
+    """A source-line annotation for text words at and after *offset*.
+
+    The assembler records one entry per source-position change: all text
+    words from ``offset`` up to the next entry's offset came from
+    (*file*, *line*).  For C-compiled modules the compiler emits
+    ``.file``/``.loc`` directives carrying the original C position; for
+    hand-written assembly the assembler falls back to the module name
+    and the assembly line itself.
+    """
+
+    offset: int
+    file: str
+    line: int
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """Where one IMEM address came from: function, file, and line."""
+
+    function: Optional[str]
+    file: Optional[str]
+    line: Optional[int]
+
+    def __str__(self):
+        parts = []
+        if self.function:
+            parts.append(self.function)
+        if self.file:
+            parts.append("%s:%s" % (self.file,
+                                    self.line if self.line else "?"))
+        return " at ".join(parts) if parts else "?"
+
+
 @dataclass
 class ObjectModule:
     """One assembled translation unit."""
@@ -48,6 +84,8 @@ class ObjectModule:
     data: List[int] = field(default_factory=list)
     symbols: Dict[str, Symbol] = field(default_factory=dict)
     relocations: List[Relocation] = field(default_factory=list)
+    #: Source-line table for the text section, ascending by offset.
+    lines: List[LineEntry] = field(default_factory=list)
 
     def section_words(self, section):
         if section == SECTION_TEXT:
@@ -65,6 +103,11 @@ class Program:
     dmem: List[int]
     symbols: Dict[str, int]
     entry: int = 0
+    #: pc -> source annotations, ascending by address: ``(address, file,
+    #: line)``.  Each entry covers addresses up to the next entry.
+    line_table: List[Tuple[int, str, int]] = field(default_factory=list)
+    #: Function boundaries, ascending by address: ``(address, name)``.
+    func_table: List[Tuple[int, str]] = field(default_factory=list)
 
     @property
     def text_size_words(self):
@@ -82,3 +125,23 @@ class Program:
     def address_of(self, symbol):
         """Final address of a linked symbol; raises ``KeyError`` if absent."""
         return self.symbols[symbol]
+
+    # -- symbolication -----------------------------------------------------
+
+    def lookup(self, pc):
+        """Symbolicate an IMEM address into a :class:`SourceLoc`.
+
+        Uses the linked function table (text symbols) and the merged
+        source-line table.  Fields the tables cannot resolve come back
+        ``None`` -- a ``.hex``-loaded image with no symbols yields
+        ``SourceLoc(None, None, None)``.
+        """
+        function = None
+        if self.func_table and pc >= self.func_table[0][0]:
+            index = bisect_right(self.func_table, (pc, "￿")) - 1
+            function = self.func_table[index][1]
+        file = line = None
+        if self.line_table and pc >= self.line_table[0][0]:
+            index = bisect_right(self.line_table, (pc, "￿", 1 << 30)) - 1
+            _, file, line = self.line_table[index]
+        return SourceLoc(function=function, file=file, line=line)

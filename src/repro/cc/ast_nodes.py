@@ -58,6 +58,10 @@ class AddrOf:
 
 
 # -- statements --------------------------------------------------------------------
+#
+# Statement nodes carry the 1-based source line they started on (None
+# when synthesized); the code generator turns these into ``.loc``
+# directives so the linked program can symbolicate pc -> C line.
 
 
 @dataclass(frozen=True)
@@ -68,6 +72,7 @@ class Block:
 @dataclass(frozen=True)
 class ExprStmt:
     expr: object
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,7 @@ class LocalDecl:
     name: str
     size: int          # 1 for scalars, N for arrays
     init: Optional[object]
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -82,12 +88,14 @@ class If:
     condition: object
     then_body: object
     else_body: Optional[object]
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class While:
     condition: object
     body: object
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -96,21 +104,23 @@ class For:
     condition: Optional[object]
     step: Optional[object]       # expression
     body: object
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class Return:
     value: Optional[object]
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class Break:
-    pass
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class Continue:
-    pass
+    line: Optional[int] = None
 
 
 # -- top level ------------------------------------------------------------------------
@@ -130,6 +140,7 @@ class FuncDef:
     body: Block
     is_handler: bool = False
     returns_value: bool = True
+    line: Optional[int] = None
 
 
 @dataclass(frozen=True)

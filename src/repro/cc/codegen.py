@@ -57,10 +57,14 @@ class _FunctionContext:
 class CodeGenerator:
     """Generates SNAP assembly text from a parsed program."""
 
-    def __init__(self, program):
+    def __init__(self, program, filename=None):
         self.program = program
+        #: Source-file name carried into ``.file``/``.loc`` line-table
+        #: directives (None disables line-table emission).
+        self.filename = filename
         self.lines = []
         self._label_counter = 0
+        self._current_loc = None
         self.global_names = {g.name for g in program.globals}
         self.global_sizes = {g.name: g.size for g in program.globals}
         self.function_names = {f.name for f in program.functions}
@@ -74,6 +78,13 @@ class CodeGenerator:
     def emit_label(self, label):
         self.lines.append(label + ":")
 
+    def emit_loc(self, line):
+        """Tag subsequent instructions with their C source line."""
+        if self.filename is None or line is None or line == self._current_loc:
+            return
+        self._current_loc = line
+        self.emit(".loc %d" % line)
+
     def new_label(self, hint="L"):
         self._label_counter += 1
         return ".L%d_%s" % (self._label_counter, hint)
@@ -81,6 +92,9 @@ class CodeGenerator:
     def generate(self):
         """Produce the complete assembly module text."""
         self.lines = []
+        self._current_loc = None
+        if self.filename is not None:
+            self.emit('.file "%s"' % self.filename)
         for func in self.program.functions:
             self._function(func)
         if self.program.globals:
@@ -101,6 +115,7 @@ class CodeGenerator:
         ctx = _FunctionContext(func, self)
         self._collect_locals(func.body, ctx)
         self.emit_label(func.name)
+        self.emit_loc(func.line)
         if not func.is_handler:
             self.emit("push lr")
         if ctx.local_words:
@@ -140,6 +155,7 @@ class CodeGenerator:
     # -- statements ----------------------------------------------------------------
 
     def _statement(self, node, ctx):
+        self.emit_loc(getattr(node, "line", None))
         if isinstance(node, ast.Block):
             for statement in node.statements:
                 self._statement(statement, ctx)

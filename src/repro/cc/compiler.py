@@ -8,25 +8,32 @@ from repro.isa.events import Event
 from repro.netstack.runtime import boot_source
 
 
-def compile_c(source):
-    """Compile C source text to SNAP assembly text."""
+def compile_c(source, filename=None):
+    """Compile C source text to SNAP assembly text.
+
+    With *filename* set, the generated assembly carries ``.file``/
+    ``.loc`` directives so the linked program can symbolicate every pc
+    back to its C source line.
+    """
     program = parse(source)
-    return CodeGenerator(program).generate()
+    return CodeGenerator(program, filename=filename).generate()
 
 
 def build_c_node(source, handlers=None, node_id=0, start_rx=False,
-                 extra_modules=()):
+                 extra_modules=(), source_name="app.c"):
     """Compile *source* and link a complete node image.
 
     *handlers* maps :class:`~repro.isa.events.Event` to the C function
     that handles it (functions declared ``__handler``).  If the C code
     defines ``init``, boot calls it before ``done``.  *extra_modules*
     are additional assembly module sources to link (e.g. the MAC).
+    *source_name* labels the C source in the program's line table (used
+    by crash-bundle symbolication).
 
     Returns the linked :class:`~repro.asm.Program`.
     """
     tree = parse(source)
-    asm_text = CodeGenerator(tree).generate()
+    asm_text = CodeGenerator(tree, filename=source_name).generate()
     function_names = {f.name for f in tree.functions}
     handler_names = {f.name for f in tree.functions if f.is_handler}
     init_calls = []

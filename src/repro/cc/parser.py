@@ -1,5 +1,7 @@
 """Recursive-descent parser for the C subset."""
 
+import dataclasses
+
 from repro.cc import ast_nodes as ast
 from repro.cc.errors import CompileError
 from repro.cc.lexer import tokenize
@@ -103,6 +105,7 @@ class _Parser:
         return (-value) & 0xFFFF if negative else value & 0xFFFF
 
     def _function(self, name, is_handler, returns_value):
+        line = self._peek().line
         self._expect("(")
         params = []
         if not self._accept(")"):
@@ -119,7 +122,7 @@ class _Parser:
         body = self._block()
         return ast.FuncDef(name=name, params=params, body=body,
                            is_handler=is_handler,
-                           returns_value=returns_value)
+                           returns_value=returns_value, line=line)
 
     # -- statements -------------------------------------------------------------
 
@@ -131,6 +134,14 @@ class _Parser:
         return ast.Block(statements=statements)
 
     def _statement(self):
+        """Parse one statement, stamped with its starting source line."""
+        line = self._peek().line
+        statement = self._bare_statement()
+        if line is not None and hasattr(statement, "line"):
+            statement = dataclasses.replace(statement, line=line)
+        return statement
+
+    def _bare_statement(self):
         token = self._peek()
         if token.kind == "{":
             return self._block()

@@ -102,3 +102,7 @@ class EventQueue:
 
     def peek(self):
         return self._tokens[0] if self._tokens else None
+
+    def tokens(self):
+        """A list of the queued tokens, head first (inspection only)."""
+        return list(self._tokens)

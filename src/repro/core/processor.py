@@ -160,6 +160,9 @@ class SnapProcessor:
         #: ``is not None`` check -- simulation results are bit-identical
         #: with observability detached.
         self.obs = None
+        #: The linked :class:`~repro.asm.Program` last loaded, kept for
+        #: pc symbolication (debugger, profiler, crash bundles).
+        self.program = None
 
     def attach_observability(self, obs):
         """Attach an :class:`~repro.obs.Observability` context.
@@ -172,15 +175,31 @@ class SnapProcessor:
         self.event_queue.name = "%s.eq" % self.name
         self.mcp.obs = obs
         self.mcp.name = "%s.mcp" % self.name
+        if obs is not None:
+            obs.register_processor(self)
+            if self.program is not None:
+                self._report_program(self.program)
         return self
 
     # -- program loading and control ------------------------------------------
 
     def load(self, program):
-        """Load a linked :class:`~repro.asm.Program` into IMEM/DMEM."""
+        """Load a linked :class:`~repro.asm.Program` into IMEM/DMEM.
+
+        The program is kept on ``self.program`` so debuggers and crash
+        bundles can symbolicate pcs through its line table.
+        """
         self.imem.load_image(program.imem)
         self.dmem.load_image(program.dmem)
         self.pc = program.entry
+        self.program = program
+        if self.obs is not None:
+            self._report_program(program)
+
+    def _report_program(self, program):
+        self.obs.program_loaded(
+            self.name, len(program.imem), len(program.dmem),
+            self.config.imem_words, self.config.dmem_words)
 
     def start(self):
         """Begin executing boot code at the current kernel time."""

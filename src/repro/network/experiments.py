@@ -70,7 +70,8 @@ class ConvergecastResult:
 
 
 def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
-                 voltage=0.6, seed=0, sample_every=None, fast_path=True):
+                 voltage=0.6, seed=0, sample_every=None, fast_path=True,
+                 obs=None):
     """Run a convergecast chain: node N .. node 2 report to node 1.
 
     Nodes sit on a line with radio range one hop; every non-sink node
@@ -82,7 +83,10 @@ def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
     its ``drain`` field (the sampler only reads state, so the sampled
     run is bit-identical to an unsampled one).  *fast_path* selects the
     cores' execution engine (results are bit-identical either way; the
-    sim-speed benchmark runs both).
+    sim-speed benchmark runs both).  *obs* optionally attaches an
+    :class:`~repro.obs.Observability` context (or a
+    :class:`~repro.obs.Blackbox`, via its ``observe``/``watchdog``)
+    to the whole network before the run -- also bit-identical.
     """
     config = CoreConfig(voltage=voltage, fast_path=fast_path)
     net = NetworkSimulator(comm_range=1.5)
@@ -99,6 +103,8 @@ def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
         node.attach_sensor(TemperatureSensor(seed=seed + node_id),
                            sensor_id=1)
         reporters[node_id] = node
+    if obs is not None:
+        obs.observe(net)
     net.run(until=0.001)
 
     # Static convergecast routes: next hop is the line neighbour toward

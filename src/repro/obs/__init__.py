@@ -1,6 +1,6 @@
 """Unified observability for the SNAP/LE simulation stack.
 
-Three cooperating pieces, all opt-in and zero-cost when detached:
+Cooperating pieces, all opt-in and zero-cost when detached:
 
 * a **structured trace bus** (:mod:`repro.obs.bus`) carrying typed
   events (:mod:`repro.obs.events`) to sinks -- in-memory ring, JSONL
@@ -10,7 +10,13 @@ Three cooperating pieces, all opt-in and zero-cost when detached:
   and channel;
 * a **profiler** (:mod:`repro.obs.profiler`) attributing time and energy
   per handler and per PC, reconciling against the
-  :class:`~repro.energy.accounting.EnergyMeter`.
+  :class:`~repro.energy.accounting.EnergyMeter`;
+* a **blackbox** (:mod:`repro.obs.blackbox`) -- a bounded flight
+  recorder of recently retired instructions and events -- with a
+  **watchdog** (:mod:`repro.obs.watchdog`) re-checking simulator
+  invariants at a fixed cadence, and **crash bundles**
+  (:mod:`repro.obs.postmortem`) that symbolicate the recorded tail back
+  to C source lines on any fault (CLI: ``snap-flight``).
 
 Typical use::
 
@@ -35,14 +41,30 @@ from repro.obs.bus import (
     read_jsonl,
     write_chrome_trace,
 )
+from repro.obs.blackbox import Blackbox, FlightRecorder
 from repro.obs.context import Observability
 from repro.obs.events import EVENT_KINDS, PacketSpan, TimelineSample, TraceEvent
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.postmortem import (
+    build_crash_bundle,
+    normalize_bundle,
+    render_markdown,
+    write_bundle,
+)
 from repro.obs.profiler import HandlerProfile, PcProfile, Profiler
 from repro.obs.timeline import TimelineSampler
+from repro.obs.watchdog import InvariantViolation, Watchdog
 
 __all__ = [
     "Observability",
+    "Blackbox",
+    "FlightRecorder",
+    "Watchdog",
+    "InvariantViolation",
+    "build_crash_bundle",
+    "normalize_bundle",
+    "render_markdown",
+    "write_bundle",
     "TraceBus",
     "MemorySink",
     "JsonlSink",

@@ -37,7 +37,8 @@ class Observability:
     """Bundles the trace bus, metrics registry, optional profiler, and
     optional packet-journey tracker."""
 
-    def __init__(self, bus=None, metrics=None, profile=False, journeys=False):
+    def __init__(self, bus=None, metrics=None, profile=False, journeys=False,
+                 flight=False):
         self.bus = bus if bus is not None else TraceBus()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = None
@@ -50,6 +51,18 @@ class Observability:
             # module do not need.
             from repro.obs.spans import JourneyTracker
             self.journeys = JourneyTracker(self)
+        #: Optional :class:`~repro.obs.blackbox.FlightRecorder`.  Pass
+        #: ``flight=True`` for one with default ring depths, or an
+        #: existing recorder instance.
+        self.flight = None
+        if flight:
+            from repro.obs.blackbox import FlightRecorder
+            self.flight = flight if isinstance(flight, FlightRecorder) \
+                else FlightRecorder()
+        #: name -> :class:`~repro.core.SnapProcessor`, filled by
+        #: :meth:`register_processor`; lets the flight recorder and
+        #: crash-bundle builder find core state by node name.
+        self.processors = {}
 
     def observe(self, target):
         """Attach this context to any instrumentable *target*.
@@ -72,6 +85,24 @@ class Observability:
             self.journeys.register(node.node_id, node.name, node.radio.name,
                                    node.radio.config)
 
+    def register_processor(self, processor):
+        """Record a processor's identity (called by
+        ``SnapProcessor.attach_observability``)."""
+        self.processors[processor.name] = processor
+        if self.flight is not None:
+            self.flight.register_processor(processor)
+
+    def program_loaded(self, node, text_words, data_words, imem_words,
+                       dmem_words):
+        """A linked program landed in a core's memories: surface IMEM and
+        DMEM occupancy as gauges."""
+        self.metrics.gauge(node + ".imem.occupancy_words").set(text_words)
+        self.metrics.gauge(node + ".imem.occupancy_frac").set(
+            text_words / imem_words if imem_words else 0.0)
+        self.metrics.gauge(node + ".dmem.occupancy_words").set(data_words)
+        self.metrics.gauge(node + ".dmem.occupancy_frac").set(
+            data_words / dmem_words if dmem_words else 0.0)
+
     # -- processor hooks ------------------------------------------------------
 
     def instruction_retired(self, node, time, pc, instruction, handler,
@@ -81,6 +112,9 @@ class Observability:
             time=time, node=node, pc=pc, mnemonic=instruction.text(),
             instr_class=instruction.spec.instr_class.value,
             handler=handler, energy=energy, duration=duration))
+        if self.flight is not None:
+            self.flight.record_instruction(node, time, pc, instruction,
+                                           handler, energy)
 
     def handler_dispatch(self, node, time, event_name, handler, latency):
         self.metrics.counter(node + ".dispatches").inc()
@@ -88,14 +122,20 @@ class Observability:
         self.bus.emit(HandlerDispatch(
             time=time, node=node, event=event_name, handler=handler,
             latency=latency))
+        if self.flight is not None:
+            self.flight.record_event("dispatch", node, time, event_name)
 
     def sleep_enter(self, node, time):
         self.metrics.counter(node + ".sleeps").inc()
         self.bus.emit(SleepEnter(time=time, node=node))
+        if self.flight is not None:
+            self.flight.record_event("sleep", node, time)
 
     def wakeup(self, node, time, idle):
         self.metrics.counter(node + ".wakeups").inc()
         self.bus.emit(Wakeup(time=time, node=node, idle=idle))
+        if self.flight is not None:
+            self.flight.record_event("wakeup", node, time, idle)
 
     def energy_sample(self, node, time, energy, instructions):
         self.bus.emit(EnergySample(time=time, node=node, energy=energy,
@@ -108,10 +148,14 @@ class Observability:
         self.metrics.gauge(node + ".depth").set(depth)
         self.bus.emit(EventEnqueued(time=time, node=node, event=event_name,
                                     depth=depth))
+        if self.flight is not None:
+            self.flight.record_event("eq.insert", node, time, event_name)
 
     def event_dropped(self, node, time, event_name):
         self.metrics.counter(node + ".dropped").inc()
         self.bus.emit(EventDropped(time=time, node=node, event=event_name))
+        if self.flight is not None:
+            self.flight.record_event("eq.drop", node, time, event_name)
 
     def queue_depth(self, node, depth):
         self.metrics.gauge(node + ".depth").set(depth)
@@ -122,6 +166,8 @@ class Observability:
         self.metrics.counter(node + ".commands").inc()
         self.bus.emit(CoprocessorCommand(time=time, node=node,
                                          command=command, word=word))
+        if self.flight is not None:
+            self.flight.record_event("mcp.command", node, time, command)
 
     # -- radio and channel hooks ----------------------------------------------
 
@@ -129,18 +175,24 @@ class Observability:
         self.metrics.counter(node + ".tx_words").inc()
         self.metrics.gauge(node + ".tx_queue_depth").set(queue_depth)
         self.bus.emit(RadioTx(time=time, node=node, word=word))
+        if self.flight is not None:
+            self.flight.record_event("radio.tx", node, time, word)
         if self.journeys is not None:
             self.journeys.radio_tx(node, time, word)
 
     def radio_rx(self, node, time, word):
         self.metrics.counter(node + ".rx_words").inc()
         self.bus.emit(RadioRx(time=time, node=node, word=word))
+        if self.flight is not None:
+            self.flight.record_event("radio.rx", node, time, word)
 
     def radio_drop(self, node, time, word, reason):
         self.metrics.counter(node + ".dropped_words").inc()
         self.metrics.counter(node + ".dropped_words." + reason).inc()
         self.bus.emit(RadioDrop(time=time, node=node, word=word,
                                 reason=reason))
+        if self.flight is not None:
+            self.flight.record_event("radio.drop", node, time, reason)
 
     def channel_word(self):
         self.metrics.counter("channel.words_carried").inc()

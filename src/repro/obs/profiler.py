@@ -124,8 +124,12 @@ class Profiler:
 
     # -- reporting ------------------------------------------------------------
 
-    def report(self, top=10):
-        """A human-readable profile: handlers, then PC hot spots."""
+    def report(self, top=10, program=None):
+        """A human-readable profile: handlers, then PC hot spots.
+
+        With *program* (a linked :class:`~repro.asm.Program` carrying a
+        line table), each hot PC is annotated with its source location.
+        """
         lines = ["profile: %d instructions, %.3f nJ, %.6f s busy"
                  % (self.instructions, self.energy * 1e9, self.time)]
         lines.append("-- handlers (by energy) --")
@@ -138,8 +142,13 @@ class Profiler:
         if spots:
             lines.append("-- hot PCs (top %d by energy) --" % len(spots))
             for spot in spots:
+                where = ""
+                if program is not None:
+                    loc = program.lookup(spot.pc)
+                    if loc.file is not None or loc.function is not None:
+                        where = "  %s" % loc
                 lines.append(
-                    "  %04x %-18s %8d hits %10.3f nJ %10.6f s"
+                    "  %04x %-18s %8d hits %10.3f nJ %10.6f s%s"
                     % (spot.pc, spot.mnemonic, spot.count,
-                       spot.energy * 1e9, spot.time))
+                       spot.energy * 1e9, spot.time, where))
         return "\n".join(lines)

@@ -26,16 +26,32 @@ class Debugger:
 
     def __init__(self, processor, program=None):
         self.processor = processor
-        self.program = program
+        #: The linked program, for symbol breakpoints and :meth:`where`;
+        #: defaults to whatever the processor last loaded.
+        self.program = program if program is not None \
+            else getattr(processor, "program", None)
         self._breakpoints = set()
         self._watchpoints = {}
         self._instructions_seen = 0
         self._step_target = None
         self._stop = None
         self._installed_trace = processor.config.trace_fn
+        self._attached = True
         processor.config.trace_fn = self._trace
         self.last_pc = None
         self.last_instruction = None
+
+    def detach(self):
+        """Stop debugging: restore the trace callback that was installed
+        before this debugger hooked the processor.
+
+        Idempotent.  Without this, a discarded debugger would keep
+        intercepting (and paying for) every retired instruction and the
+        original ``config.trace_fn`` would be lost for good.
+        """
+        if self._attached:
+            self.processor.config.trace_fn = self._installed_trace
+            self._attached = False
 
     # -- breakpoints and watchpoints ------------------------------------------
 
@@ -122,6 +138,13 @@ class Debugger:
         state["pc"] = self.processor.pc
         state["carry"] = self.processor.carry
         return state
+
+    def where(self, pc=None):
+        """Symbolicate *pc* (default: current) through the program's
+        line table; ``None`` without a program."""
+        if self.program is None:
+            return None
+        return self.program.lookup(self.processor.pc if pc is None else pc)
 
     def disassemble_at(self, address, count=8):
         """Disassemble *count* instructions starting at an IMEM address."""

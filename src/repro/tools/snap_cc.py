@@ -6,6 +6,7 @@ Usage::
 """
 
 import argparse
+import os
 import sys
 
 from repro.cc import CompileError, compile_c
@@ -25,7 +26,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
     try:
         with open(args.source) as handle:
-            assembly = compile_c(handle.read())
+            assembly = compile_c(handle.read(),
+                                 filename=os.path.basename(args.source))
     except (CompileError, OSError) as error:
         print("snap-cc: %s" % error, file=sys.stderr)
         return 1

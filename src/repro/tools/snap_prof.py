@@ -21,7 +21,8 @@ from repro.asm import AsmError, LinkError
 from repro.core import CoreConfig, SimulationError, SnapProcessor
 from repro.obs import JsonlSink, MemorySink, Observability, write_chrome_trace
 from repro.sensors.ports import LedPort
-from repro.tools.snap_run import load_program_words
+from repro.tools.hexfile import load_words
+from repro.tools.snap_run import load_program
 
 #: Port identifier the library software writes LEDs to (matches
 #: :data:`repro.node.node.LED_PORT_ID`).
@@ -59,7 +60,10 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     try:
-        imem, dmem = load_program_words(args.inputs)
+        program = load_program(args.inputs)
+        if program is None:
+            with open(args.inputs[0]) as handle:
+                imem, dmem = load_words(handle.read())
     except (AsmError, LinkError, OSError) as error:
         print("snap-prof: %s" % error, file=sys.stderr)
         return 1
@@ -72,8 +76,11 @@ def main(argv=None):
 
     processor = SnapProcessor(config=CoreConfig(
         voltage=args.voltage, max_instructions=args.max_instructions))
-    processor.imem.load_image(imem)
-    processor.dmem.load_image(dmem)
+    if program is not None:
+        processor.load(program)
+    else:
+        processor.imem.load_image(imem)
+        processor.dmem.load_image(dmem)
     # Handler workloads (blink and friends) write the LED port; attach
     # the standard one so they profile without a full SensorNode.
     processor.mcp.attach_port(LED_PORT_ID, LedPort())
@@ -112,7 +119,7 @@ def main(argv=None):
           % (profiled * 1e9, metered * 1e9,
              (meter.total_energy - metered) * 1e9))
     print()
-    print(obs.profiler.report(top=args.top))
+    print(obs.profiler.report(top=args.top, program=program))
 
     if args.metrics:
         print()

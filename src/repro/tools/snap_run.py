@@ -18,16 +18,27 @@ from repro.core.trace import Tracer
 from repro.tools.hexfile import load_words
 
 
-def load_program_words(paths):
-    """Return (imem, dmem) from .hex or assembled .s inputs."""
+def load_program(paths):
+    """Link assembled ``.s`` inputs into a :class:`~repro.asm.Program`.
+
+    Returns ``None`` for a ``.hex`` image -- raw word dumps carry no
+    symbols or line table, so there is nothing to symbolicate.
+    """
     if len(paths) == 1 and paths[0].endswith(".hex"):
-        with open(paths[0]) as handle:
-            return load_words(handle.read())
+        return None
     modules = []
     for path in paths:
         with open(path) as handle:
             modules.append(assemble(handle.read(), name=path))
-    program = link(modules)
+    return link(modules)
+
+
+def load_program_words(paths):
+    """Return (imem, dmem) from .hex or assembled .s inputs."""
+    program = load_program(paths)
+    if program is None:
+        with open(paths[0]) as handle:
+            return load_words(handle.read())
     return program.imem, program.dmem
 
 

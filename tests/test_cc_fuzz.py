@@ -203,10 +203,16 @@ def test_compiled_programs_match_the_oracle(initial, program):
 
     try:
         linked = build_c_node(source)
-    except LinkError:
+    except LinkError as error:
         # Deeply nested generated statements can compile to more text
-        # than the 2048-word IMEM holds; program size is the linker's
-        # concern, not this differential property's.
+        # than the 2048-word IMEM holds.  Program size is the linker's
+        # concern, not this differential property's -- but the overflow
+        # diagnostic must name the limit, the per-module section sizes,
+        # and the module that crossed the line.
+        message = str(error)
+        assert "exceeds IMEM (2048 words)" in message, message
+        assert "section sizes:" in message, message
+        assert "first module past the limit:" in message, message
         assume(False)
     processor = SnapProcessor(config=CoreConfig(voltage=1.8,
                                                 max_instructions=3_000_000))

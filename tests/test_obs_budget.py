@@ -100,3 +100,123 @@ class TestWallTimeBudget:
         assert inert <= plain * BUDGET_FACTOR, (
             "inert observability cost %.1fx (budget %.1fx): %.4fs vs %.4fs"
             % (inert / plain, BUDGET_FACTOR, inert, plain))
+
+    def test_blackbox_within_budget(self):
+        from repro.obs import Blackbox
+
+        def boxed():
+            box = Blackbox(bundle_dir=None)
+            return box.obs
+
+        plain = _best_of(3, lambda: None)
+        black = _best_of(3, boxed)
+        assert black <= plain * BUDGET_FACTOR, (
+            "blackbox recording cost %.1fx (budget %.1fx): %.4fs vs %.4fs"
+            % (black / plain, BUDGET_FACTOR, black, plain))
+
+
+class TestBlackboxBitIdentical:
+    """The flight recorder + watchdog must be pure observers: enabling
+    them leaves the meter digests of the paper's scenarios bit-identical
+    (the full-precision digest, not the rounded one above)."""
+
+    def test_fig5_blink_digest_identical(self):
+        from repro.bench.simspeed import meter_digest
+        from repro.netstack import build_blink_app
+        from repro.node.node import SensorNode
+        from repro.obs import Blackbox
+
+        def blink(box):
+            node = SensorNode(node_id=0)
+            node.load(build_blink_app(period_ticks=1000))
+            if box is not None:
+                box.observe(node)
+            node.run(until=0.25)
+            return meter_digest(node.processor)
+
+        plain = blink(None)
+        boxed = blink(Blackbox(bundle_dir=None))
+        assert boxed == plain
+
+    def test_convergecast_digest_identical(self):
+        from repro.network.experiments import convergecast
+        from repro.obs import Blackbox
+
+        plain = convergecast(duration_s=0.5)
+        box = Blackbox(bundle_dir=None)
+        boxed = convergecast(duration_s=0.5, obs=box)
+        assert box.watchdog.checks_run > 0, "watchdog never ran"
+        for node_id, report in plain.nodes.items():
+            other = boxed.nodes[node_id]
+            assert other.instructions == report.instructions
+            assert other.energy_j == report.energy_j
+        assert boxed.sink_deliveries == plain.sink_deliveries
+
+
+class TestFlightRecorderBudget:
+    """Property test: the recorder's rings never exceed their entry or
+    byte budgets, no matter how much traffic is pushed through them."""
+
+    def test_ring_budget_under_random_traffic(self):
+        from hypothesis import given, settings, strategies as st
+
+        from repro.obs.blackbox import FlightRecorder
+
+        @settings(max_examples=50, deadline=None)
+        @given(st.lists(
+            st.tuples(st.integers(0, 3),          # node index
+                      st.integers(0, 2047),       # pc
+                      st.booleans()),              # instruction vs event
+            min_size=0, max_size=600),
+            st.integers(1, 32), st.integers(1, 32))
+        def run(feed, instruction_limit, event_limit):
+            recorder = FlightRecorder(instruction_limit=instruction_limit,
+                                      event_limit=event_limit)
+            instruction = _decoded_instruction()
+            for node_index, pc, is_instruction in feed:
+                node = "node%d" % node_index
+                if is_instruction:
+                    recorder.record_instruction(node, 0.0, pc, instruction,
+                                                "boot", 1e-12)
+                else:
+                    recorder.record_event("eq.insert", node, 0.0, pc)
+            nodes = max(1, len(recorder.nodes))
+            assert recorder.entry_count() <= recorder.max_entries(nodes)
+            for node in recorder.nodes:
+                assert len(recorder.instruction_tail(node)) \
+                    <= instruction_limit
+            assert len(recorder.event_tail()) <= event_limit
+            # Byte budget: a bounded per-entry footprint times the entry
+            # ceiling (entries are flat tuples of scalars).
+            assert recorder.approx_size_bytes() \
+                <= 200 * recorder.max_entries(nodes)
+            snapshot = recorder.snapshot()
+            total = (sum(len(tail)
+                         for tail in snapshot["instructions"].values())
+                     + len(snapshot["events"]))
+            assert total == recorder.entry_count()
+
+        run()
+
+    def test_long_run_stays_bounded(self):
+        from repro.netstack import build_blink_app
+        from repro.node.node import SensorNode
+        from repro.obs import Blackbox
+
+        box = Blackbox(bundle_dir=None)
+        node = SensorNode(node_id=0)
+        node.load(build_blink_app(period_ticks=1000))
+        box.observe(node)
+        node.run(until=1.0)
+        recorder = box.recorder
+        assert node.meter.instructions > recorder.instruction_limit
+        assert recorder.entry_count() <= recorder.max_entries()
+
+
+def _decoded_instruction():
+    """One real decoded instruction for feeding the recorder directly."""
+    from repro.isa.encoding import decode
+    from repro.asm import assemble
+    module = assemble("boot:\n    movi r1, 5\n", name="t")
+    instruction, _ = decode(module.text)
+    return instruction
