@@ -53,3 +53,19 @@ class Fifo:
 
     def clear(self):
         self._words.clear()
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def words(self):
+        """The queued words, head first (inspection only)."""
+        return list(self._words)
+
+    def restore(self, words, pushes=0, pops=0, max_occupancy=0):
+        """Replace contents and statistics with checkpointed state."""
+        if len(words) > self.capacity:
+            raise ValueError("%s: %d restored words exceed capacity %d"
+                             % (self.name, len(words), self.capacity))
+        self._words = deque(word & 0xFFFF for word in words)
+        self.pushes = pushes
+        self.pops = pops
+        self.max_occupancy = max_occupancy

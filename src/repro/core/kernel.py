@@ -13,7 +13,6 @@ runs.  Dead entries are skipped (and popped) lazily by :meth:`step` and
 """
 
 import heapq
-import itertools
 
 
 class Kernel:
@@ -21,7 +20,10 @@ class Kernel:
 
     def __init__(self):
         self._queue = []
-        self._sequence = itertools.count()
+        #: Next handle to hand out.  A plain integer (not an iterator) so
+        #: a checkpoint can capture and restore the exact tie-break
+        #: sequence: events at equal times run in handle order.
+        self._next_handle = 0
         self._now = 0.0
         #: handle -> live heap entry; cancelled/fired handles are absent.
         self._live = {}
@@ -50,7 +52,8 @@ class Kernel:
         """
         if delay < 0:
             raise ValueError("cannot schedule into the past (delay=%r)" % delay)
-        handle = next(self._sequence)
+        handle = self._next_handle
+        self._next_handle = handle + 1
         entry = [self._now + delay, handle, callback, args]
         self._live[handle] = entry
         heapq.heappush(self._queue, entry)
@@ -134,6 +137,44 @@ class Kernel:
                 continue
             return entry[0]
         return None
+
+    # -- checkpoint support ----------------------------------------------------
+
+    def live_entries(self):
+        """The live heap entries as ``(time, handle, callback, args)``
+        tuples in execution order (time, then handle).
+
+        Cancelled entries are excluded -- they carry no future behavior.
+        Used by :mod:`repro.sim.checkpoint` to serialize the heap.
+        """
+        entries = [(entry[0], entry[1], entry[2], entry[3])
+                   for entry in self._live.values()]
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return entries
+
+    def restore_state(self, now, next_handle, entries):
+        """Replace clock, handle counter, and heap with restored state.
+
+        *entries* is an iterable of ``(time, handle, callback, args)``;
+        handles must be unique and below *next_handle*.  Replaces any
+        existing schedule wholesale.
+        """
+        self._now = now
+        self._queue = []
+        self._live = {}
+        for time, handle, callback, args in entries:
+            if handle >= next_handle:
+                raise ValueError(
+                    "restored handle %d is not below the restored "
+                    "counter %d" % (handle, next_handle))
+            if handle in self._live:
+                raise ValueError("duplicate restored handle %d" % handle)
+            entry = [time, handle, callback, tuple(args)]
+            self._live[handle] = entry
+            self._queue.append(entry)
+        heapq.heapify(self._queue)
+        self._next_handle = next_handle
+        self._version += 1
 
     def advance(self, time):
         """Move the clock forward without running events.

@@ -75,6 +75,29 @@ class NetworkSimulator:
         return sum(node.total_energy(include_radio=include_radio)
                    for node in self.nodes.values())
 
+    def checkpoint(self, unknown="error"):
+        """Freeze the whole network into a
+        :class:`~repro.sim.checkpoint.Checkpoint`.
+
+        The restored simulation resumes bit-identically (meter digests,
+        trace timestamps, radio words); see :mod:`repro.sim.checkpoint`
+        for the capture policy and *unknown* callback handling.
+        """
+        from repro.sim.checkpoint import capture
+
+        return capture(self, unknown=unknown)
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint):
+        """Rebuild a network from a checkpoint: a
+        :class:`~repro.sim.checkpoint.Checkpoint`, its raw dict, or a
+        path to a saved checkpoint file."""
+        from repro.sim.checkpoint import Checkpoint, restore
+
+        if isinstance(checkpoint, str):
+            checkpoint = Checkpoint.load(checkpoint)
+        return restore(checkpoint)
+
     def snapshot(self, include_netstack=None):
         """Aggregate per-node metrics plus channel-level statistics.
 

@@ -190,7 +190,8 @@ class Blackbox:
 
     def __init__(self, obs=None, instruction_limit=DEFAULT_INSTRUCTION_LIMIT,
                  event_limit=DEFAULT_EVENT_LIMIT, watchdog_interval=1e-3,
-                 invariants=None, bundle_dir="crash-bundles"):
+                 invariants=None, bundle_dir="crash-bundles",
+                 checkpoint_every=None):
         if obs is None:
             obs = Observability(
                 flight=FlightRecorder(instruction_limit, event_limit))
@@ -206,6 +207,16 @@ class Blackbox:
         self.programs = {}
         self.last_bundle = None
         self.last_bundle_paths = None
+        #: With *checkpoint_every* set (simulated seconds), the blackbox
+        #: snapshots the observed node/network on that period via
+        #: :mod:`repro.sim.checkpoint` and embeds the most recent
+        #: snapshot in any crash bundle it writes -- ``snap-flight
+        #: replay-tail --replay`` then reproduces the crash by re-running
+        #: only the tail from that snapshot instead of from t=0.
+        self.checkpoint_every = checkpoint_every
+        self.last_checkpoint = None
+        self._checkpoint_target = None
+        self._checkpoint_armed = False
 
     def observe(self, target, program=None):
         """Instrument *target* and register it with the watchdog.
@@ -214,6 +225,9 @@ class Blackbox:
         processor(s); by default each processor's own loaded
         ``program`` attribute is used.
         """
+        from repro.network.simulator import NetworkSimulator
+        from repro.node.node import SensorNode
+
         self.obs.observe(target)
         for processor in self.watchdog.watch(target):
             loaded = program if program is not None \
@@ -222,7 +236,27 @@ class Blackbox:
                 self.programs[processor.name] = loaded
         if not self.watchdog.armed:
             self.watchdog.start()
+        if isinstance(target, (NetworkSimulator, SensorNode)):
+            self._checkpoint_target = target
+            if self.checkpoint_every and not self._checkpoint_armed:
+                self._checkpoint_armed = True
+                target.kernel.schedule(self.checkpoint_every,
+                                       self._checkpoint_tick)
         return target
+
+    def _checkpoint_tick(self):
+        """Periodic checkpoint of the observed target (kernel callback).
+
+        Uses the ``unknown="skip"`` capture policy: host-side hooks on
+        the heap (this tick itself, watchdog ticks, failure-injection
+        lambdas in tests) are recorded as skipped, not fatal.
+        """
+        from repro.sim.checkpoint import capture
+
+        self.last_checkpoint = capture(self._checkpoint_target,
+                                       unknown="skip")
+        self._checkpoint_target.kernel.schedule(self.checkpoint_every,
+                                                self._checkpoint_tick)
 
     def run(self, target, until=None, max_events=None):
         """Drive ``target.run``, capturing a crash bundle on any fault."""
@@ -242,7 +276,9 @@ class Blackbox:
         bundle = build_crash_bundle(
             error=error, reason=reason, kernel=self.watchdog.kernel,
             processors=self.watchdog.processors, recorder=self.recorder,
-            programs=self.programs, obs=self.obs)
+            programs=self.programs, obs=self.obs,
+            checkpoint=self.last_checkpoint.data
+            if self.last_checkpoint is not None else None)
         self.last_bundle = bundle
         self.last_bundle_paths = None
         if self.bundle_dir is not None:

@@ -23,7 +23,10 @@ Bundle schema (``repro.obs.crash-bundle/1``):
   register write, and C source location;
 * ``events_tail`` -- the flight recorder's recent system events;
 * ``journeys`` -- in-flight/recent packet journeys when a journey
-  tracker was attached.
+  tracker was attached;
+* ``checkpoint`` (optional) -- the blackbox's most recent periodic
+  :mod:`repro.sim.checkpoint` snapshot, so ``snap-flight replay-tail
+  --replay`` can restore and re-run only the tail up to the crash.
 
 The ``snap-flight`` CLI (:mod:`repro.tools.snap_flight`) renders and
 replays these bundles; ``tests/goldens/crash_bundle.json`` pins the
@@ -61,8 +64,15 @@ def classify_error(error):
 
 
 def build_crash_bundle(error=None, reason=None, kernel=None, processors=(),
-                       recorder=None, programs=None, obs=None):
-    """Freeze the current simulation state into a crash-bundle dict."""
+                       recorder=None, programs=None, obs=None,
+                       checkpoint=None):
+    """Freeze the current simulation state into a crash-bundle dict.
+
+    *checkpoint* optionally embeds the blackbox's most recent periodic
+    :mod:`repro.sim.checkpoint` snapshot (the raw schema dict);
+    ``snap-flight replay-tail --replay`` restores it and re-runs only
+    the tail up to the crash instead of replaying from t=0.
+    """
     from repro.obs.watchdog import InvariantViolation
     programs = programs or {}
     bundle = {
@@ -93,6 +103,8 @@ def build_crash_bundle(error=None, reason=None, kernel=None, processors=(),
     if obs is not None and getattr(obs, "journeys", None) is not None:
         bundle["journeys"] = [journey.summary()
                               for journey in obs.journeys.journeys[-8:]]
+    if checkpoint is not None:
+        bundle["checkpoint"] = checkpoint
     return bundle
 
 

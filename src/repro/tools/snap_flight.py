@@ -11,6 +11,7 @@ Usage::
 
     snap-flight inspect crash-bundles/crash.json
     snap-flight replay-tail crash-bundles/crash.json --node node0.cpu
+    snap-flight replay-tail crash-bundles/crash.json --replay
     snap-flight demo-crash --out /tmp/demo --mode fault
 """
 
@@ -54,8 +55,20 @@ def cmd_inspect(args):
 
 
 def cmd_replay_tail(args):
-    """Print the recorded instruction tail, one line per instruction."""
+    """Print the recorded instruction tail, one line per instruction.
+
+    With ``--replay``, also restore the bundle's embedded checkpoint and
+    re-run the simulation tail up to the crash time, verifying that the
+    restored run reproduces the bundle's final per-node state exactly
+    (mode, pc, registers, meter) -- deterministic replay without
+    rerunning from t=0.
+    """
     bundle = _load_bundle(args.bundle)
+    if args.replay:
+        status = _replay_from_checkpoint(bundle)
+        if status:
+            return status
+        print()
     disassembly = bundle.get("disassembly") or {}
     if not disassembly:
         print("snap-flight: bundle has no recorded instructions",
@@ -86,6 +99,66 @@ def cmd_replay_tail(args):
     return 0
 
 
+def _replay_from_checkpoint(bundle):
+    """Restore a bundle's embedded checkpoint and re-run to the crash.
+
+    Compares the replayed per-node state (mode, pc, registers, carry,
+    meter, event queue, low DMEM) against the bundle's recorded state;
+    any divergence is a determinism bug.  Returns 0 on an exact match.
+    """
+    from repro.core.exceptions import SimulationError
+    from repro.node.node import SensorNode
+    from repro.obs.postmortem import _processor_state
+    from repro.sim.checkpoint import Checkpoint, restore
+
+    data = bundle.get("checkpoint")
+    if not data:
+        print("snap-flight: bundle has no embedded checkpoint "
+              "(Blackbox(checkpoint_every=...) was not enabled)",
+              file=sys.stderr)
+        return 1
+    crash_time = bundle["time_s"]
+    sim = restore(Checkpoint(data))
+    print("replay       : checkpoint t=%.6f s -> crash t=%.6f s"
+          % (data["time_s"], crash_time))
+    reproduced = None
+    try:
+        sim.kernel.run(until=crash_time)
+    except SimulationError as error:
+        reproduced = error
+    if reproduced is not None:
+        print("reproduced   : %s: %s"
+              % (type(reproduced).__name__, reproduced))
+    elif bundle.get("reason") == "guest_fault":
+        print("snap-flight: replay reached t=%.6f s without the "
+              "recorded guest fault" % crash_time, file=sys.stderr)
+        return 1
+
+    nodes = [sim] if isinstance(sim, SensorNode) \
+        else list(sim.nodes.values())
+    divergent = 0
+    for node in nodes:
+        name = node.processor.name
+        recorded = dict(bundle.get("nodes", {}).get(name) or {})
+        if not recorded:
+            continue
+        # Symbolication is not part of a checkpoint (raw memory images
+        # carry no line table), so source locations are not compared.
+        recorded.pop("pc_source", None)
+        replayed = _processor_state(node.processor, None)
+        if replayed == recorded:
+            print("replayed     : %s state matches the bundle" % name)
+        else:
+            divergent += 1
+            keys = [key for key in set(recorded) | set(replayed)
+                    if recorded.get(key) != replayed.get(key)]
+            print("snap-flight: %s diverged from the bundle in: %s"
+                  % (name, ", ".join(sorted(keys))), file=sys.stderr)
+    if divergent:
+        return 1
+    return 0
+
+
 def cmd_demo_crash(args):
     """Build a faulting guest, run it under the blackbox, dump the bundle.
 
@@ -105,7 +178,11 @@ def cmd_demo_crash(args):
                            source_name="crash.c")
     node = SensorNode(node_id=0)
     node.load(program)
-    box = Blackbox(bundle_dir=args.out, watchdog_interval=1e-4)
+    # Checkpoints at 250/500 us; the guest faults on its third 200 us
+    # tick, so the bundle embeds a 500 us snapshot 100 us before the
+    # crash -- the tail that ``replay-tail --replay`` re-runs.
+    box = Blackbox(bundle_dir=args.out, watchdog_interval=1e-4,
+                   checkpoint_every=2.5e-4)
     box.observe(node)
 
     if args.mode == "invariant":
@@ -133,6 +210,10 @@ def cmd_demo_crash(args):
         print("crash        : %s: %s" % (type(error).__name__, error))
         print("bundle       : %s" % json_path)
         print("report       : %s" % md_path)
+        checkpoint = error.crash_bundle.get("checkpoint")
+        if checkpoint:
+            print("checkpoint   : embedded, t=%.6f s"
+                  % checkpoint["time_s"])
         tail = (error.crash_bundle.get("disassembly") or {}).get(
             node.processor.name) or []
         symbolicated = [record for record in tail
@@ -176,6 +257,10 @@ def main(argv=None):
                         help="only this node's tail")
     replay.add_argument("--tail", type=int, default=None, metavar="N",
                         help="only the last N instructions")
+    replay.add_argument("--replay", action="store_true",
+                        help="restore the bundle's embedded checkpoint "
+                             "and re-run the tail up to the crash, "
+                             "verifying the final state matches")
 
     demo = sub.add_parser("demo-crash",
                           help="run a deliberately faulting guest and "

@@ -3,19 +3,33 @@
 Accepts either assembly sources (assembled on the fly) or a ``.hex``
 image.  Prints the run's statistics; optionally an instruction trace.
 
+The run executes on a full :class:`~repro.node.SensorNode` (core plus
+radio, LED port, and coprocessors), so it can be frozen mid-flight:
+``--checkpoint-every`` writes a :mod:`repro.sim.checkpoint` snapshot on
+a fixed simulated period, and ``--resume`` picks a saved checkpoint
+back up and continues bit-identically -- the resumed run's meters match
+an uninterrupted run exactly.
+
 Usage::
 
     python -m repro.tools.snap_run program.s --voltage 0.6 --until 1e-3
     python -m repro.tools.snap_run image.hex --trace --max-trace 50
+    python -m repro.tools.snap_run app.s --until 2.0 \
+        --checkpoint-every 0.5 --checkpoint-path app.ckpt.json
+    python -m repro.tools.snap_run --resume app.ckpt.json --until 2.0
 """
 
 import argparse
 import sys
 
 from repro.asm import AsmError, LinkError, assemble, link
-from repro.core import CoreConfig, SimulationError, SnapProcessor
+from repro.core import CoreConfig, SimulationError
 from repro.core.trace import Tracer
+from repro.node import SensorNode
+from repro.sim.checkpoint import Checkpoint, CheckpointError, capture
 from repro.tools.hexfile import load_words
+
+DEFAULT_CHECKPOINT_PATH = "snap-run.ckpt.json"
 
 
 def load_program(paths):
@@ -42,11 +56,54 @@ def load_program_words(paths):
     return program.imem, program.dmem
 
 
+def _build_node(args):
+    imem, dmem = load_program_words(args.inputs)
+    node = SensorNode(config=CoreConfig(
+        voltage=args.voltage,
+        max_instructions=args.max_instructions))
+    node.processor.imem.load_image(imem)
+    node.processor.dmem.load_image(dmem)
+    node.loaded = True
+    return node
+
+
+def _resume_node(args):
+    checkpoint = Checkpoint.load(args.resume)
+    if checkpoint.kind != "node":
+        raise CheckpointError(
+            "%s is a %r checkpoint; snap-run resumes single-node "
+            "checkpoints (use NetworkSimulator.from_checkpoint for "
+            "networks)" % (args.resume, checkpoint.kind))
+    return checkpoint.restore()
+
+
+def _run(node, args, checkpoint_path):
+    """Drive the node to ``--until``, checkpointing on the period."""
+    processor = node.processor
+    if args.checkpoint_every:
+        horizon = args.until
+        while True:
+            boundary = min(processor.kernel.now + args.checkpoint_every,
+                           horizon)
+            meter = processor.run(until=boundary)
+            capture(node).save(checkpoint_path)
+            print("checkpoint   : t=%.6f s -> %s"
+                  % (processor.kernel.now, checkpoint_path))
+            if processor.kernel.now >= horizon:
+                return meter
+    meter = processor.run(until=args.until)
+    if checkpoint_path:
+        capture(node).save(checkpoint_path)
+        print("checkpoint   : t=%.6f s -> %s"
+              % (processor.kernel.now, checkpoint_path))
+    return meter
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="snap-run",
         description="Run a SNAP program on the simulated SNAP/LE core.")
-    parser.add_argument("inputs", nargs="+",
+    parser.add_argument("inputs", nargs="*",
                         help="assembly sources or one .hex image")
     parser.add_argument("--voltage", type=float, default=0.6,
                         help="supply voltage (default 0.6)")
@@ -59,24 +116,44 @@ def main(argv=None):
                         help="trace lines to keep (default 100)")
     parser.add_argument("--dump-dmem", type=int, default=8, metavar="N",
                         help="print the first N data words after the run")
+    parser.add_argument("--checkpoint-every", type=float, metavar="SECONDS",
+                        help="write a checkpoint every SECONDS of simulated "
+                        "time (requires --until)")
+    parser.add_argument("--checkpoint-path", metavar="PATH",
+                        help="where to write checkpoints (default %s); "
+                        "without --checkpoint-every, one checkpoint is "
+                        "written at the end of the run"
+                        % DEFAULT_CHECKPOINT_PATH)
+    parser.add_argument("--resume", metavar="CHECKPOINT",
+                        help="resume from a saved checkpoint instead of "
+                        "loading a program")
     args = parser.parse_args(argv)
 
+    if bool(args.inputs) == bool(args.resume):
+        parser.error("give either program inputs or --resume, not both")
+    if args.checkpoint_every and args.until is None:
+        parser.error("--checkpoint-every needs --until (a run horizon)")
+
     try:
-        imem, dmem = load_program_words(args.inputs)
-    except (AsmError, LinkError, OSError) as error:
+        node = _resume_node(args) if args.resume else _build_node(args)
+    except (AsmError, LinkError, CheckpointError, OSError,
+            ValueError) as error:
         print("snap-run: %s" % error, file=sys.stderr)
         return 1
 
-    tracer = Tracer(limit=args.max_trace) if args.trace else None
-    processor = SnapProcessor(config=CoreConfig(
-        voltage=args.voltage,
-        max_instructions=args.max_instructions,
-        trace_fn=tracer))
-    processor.imem.load_image(imem)
-    processor.dmem.load_image(dmem)
+    tracer = None
+    if args.trace:
+        tracer = Tracer(limit=args.max_trace)
+        node.processor.config.trace_fn = tracer
 
+    checkpoint_path = args.checkpoint_path
+    if args.checkpoint_every and not checkpoint_path:
+        checkpoint_path = DEFAULT_CHECKPOINT_PATH
+
+    processor = node.processor
+    resumed_at = processor.kernel.now
     try:
-        meter = processor.run(until=args.until)
+        meter = _run(node, args, checkpoint_path)
     except SimulationError as error:
         print("snap-run: %s" % error, file=sys.stderr)
         return 1
@@ -84,6 +161,8 @@ def main(argv=None):
     if tracer is not None:
         print(tracer.format())
         print()
+    if args.resume:
+        print("resumed      : %s (from t=%.6f s)" % (args.resume, resumed_at))
     print("state        : %s" % processor.mode.value)
     print("instructions : %d (%d cycles)" % (meter.instructions, meter.cycles))
     print("sim time     : %.6f s (busy %.6f s, idle %.6f s)"

@@ -1,0 +1,31 @@
+"""Regenerate ``tests/goldens/checkpoint_v1.json``.
+
+Run deliberately, only alongside a checkpoint schema version bump::
+
+    PYTHONPATH=src python -m tests.regen_checkpoint_golden
+
+The golden is the checkpoint of the ``sti`` differential scenario
+(timer-driven self-modifying code -- it exercises predecode validity,
+armed timers, and handler state) captured at t=0.02 s, exactly as
+``tests/test_checkpoint.py::TestSchemaVersioning::test_golden_schema_v1``
+rebuilds it.
+"""
+
+import os
+
+from repro.sim.checkpoint import capture
+from repro.sim.differential import SCENARIOS, _run
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "goldens",
+                      "checkpoint_v1.json")
+
+
+def main():
+    node, _ = SCENARIOS["sti"](True)
+    _run(node, 0.02)
+    capture(node).save(GOLDEN)
+    print("wrote %s" % GOLDEN)
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,7 @@ run on the simulated SNAP core, and checked against a Python oracle that
 interprets the same program with 16-bit unsigned semantics."""
 
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.asm.errors import LinkError
 from repro.cc import build_c_node
@@ -12,6 +12,12 @@ from repro.core import CoreConfig, SnapProcessor
 
 MASK = 0xFFFF
 VARIABLES = ["a", "b", "c", "d"]
+
+#: AST-node budget for generated programs.  Calibrated so the worst
+#: generated program compiles to well under the 2048-word IMEM: linking
+#: is expected to *succeed* for every fuzz case, and a LinkError fails
+#: the property outright instead of being assumed away.
+MAX_PROGRAM_COST = 120
 
 # -- program AST as plain tuples -----------------------------------------------
 # expr := ("num", n) | ("var", name) | ("bin", op, l, r) | ("shift", op, l, k)
@@ -106,6 +112,45 @@ def render_stmt(stmt, counters, indent="    "):
     return lines
 
 
+def expr_cost(expr):
+    kind = expr[0]
+    if kind in ("num", "var"):
+        return 1
+    if kind == "shift":
+        return 1 + expr_cost(expr[2])
+    return 1 + expr_cost(expr[2]) + expr_cost(expr[3])
+
+
+def stmt_cost(stmt):
+    kind = stmt[0]
+    if kind == "assign":
+        return 2 + expr_cost(stmt[2])
+    if kind == "if":
+        return (3 + expr_cost(stmt[1])
+                + sum(stmt_cost(inner) for inner in stmt[2])
+                + sum(stmt_cost(inner) for inner in stmt[3]))
+    return 4 + sum(stmt_cost(inner) for inner in stmt[2])
+
+
+@st.composite
+def programs(draw):
+    """Statement lists trimmed to :data:`MAX_PROGRAM_COST` AST nodes.
+
+    Trimming (rather than ``assume``) keeps every draw a valid test
+    case: oversized tails are dropped, never resampled, so the property
+    exercises the compiler on all of them and a link failure is a real
+    bug, not noise to discard.
+    """
+    stmts = draw(st.lists(statements(), min_size=1, max_size=5))
+    trimmed, cost = [], 0
+    for stmt in stmts:
+        cost += stmt_cost(stmt)
+        if trimmed and cost > MAX_PROGRAM_COST:
+            break
+        trimmed.append(stmt)
+    return trimmed
+
+
 def count_loops(program):
     total = 0
     stack = list(program)
@@ -193,7 +238,7 @@ def exec_stmt(stmt, env):
 @settings(max_examples=30, deadline=None)
 @given(initial=st.fixed_dictionaries(
            {name: st.integers(0, 40) for name in VARIABLES}),
-       program=st.lists(statements(), min_size=1, max_size=5))
+       program=programs())
 def test_compiled_programs_match_the_oracle(initial, program):
     source = render_program(initial, program)
 
@@ -201,19 +246,10 @@ def test_compiled_programs_match_the_oracle(initial, program):
     for stmt in program:
         exec_stmt(stmt, env)
 
-    try:
-        linked = build_c_node(source)
-    except LinkError as error:
-        # Deeply nested generated statements can compile to more text
-        # than the 2048-word IMEM holds.  Program size is the linker's
-        # concern, not this differential property's -- but the overflow
-        # diagnostic must name the limit, the per-module section sizes,
-        # and the module that crossed the line.
-        message = str(error)
-        assert "exceeds IMEM (2048 words)" in message, message
-        assert "section sizes:" in message, message
-        assert "first module past the limit:" in message, message
-        assume(False)
+    # Generated programs are size-capped (MAX_PROGRAM_COST), so linking
+    # must succeed: a LinkError here is a compiler code-size regression,
+    # not an expected edge case.
+    linked = build_c_node(source)
     processor = SnapProcessor(config=CoreConfig(voltage=1.8,
                                                 max_instructions=3_000_000))
     processor.load(linked)
@@ -225,3 +261,20 @@ def test_compiled_programs_match_the_oracle(initial, program):
         assert got == env[name], (
             "variable %s: simulator %d != oracle %d\nprogram:\n%s"
             % (name, got, env[name], source))
+
+
+def test_oversized_program_diagnostic():
+    """A program too big for IMEM fails to link with a diagnostic naming
+    the limit, the per-module section sizes, and the offending module.
+
+    (The fuzz property above never generates such programs -- its draws
+    are capped -- so the overflow path gets this dedicated regression.)
+    """
+    body = ["    a = (a + %d);" % index for index in range(900)]
+    source = "int a;\nvoid init() {\n%s\n}" % "\n".join(body)
+    with pytest.raises(LinkError) as excinfo:
+        build_c_node(source)
+    message = str(excinfo.value)
+    assert "exceeds IMEM (2048 words)" in message, message
+    assert "section sizes:" in message, message
+    assert "first module past the limit:" in message, message

@@ -78,6 +78,51 @@ class TestKernel:
             kernel.schedule(1.0, lambda: None)
         assert kernel.run(max_events=4) == 4
 
+    def test_until_landing_exactly_on_an_event_runs_it(self):
+        """``run(until=t)`` with an event at exactly ``t`` executes the
+        event and leaves the clock at ``t`` -- not one float ulp shy of
+        it -- so a checkpoint boundary placed on an event time never
+        splits that event between two runs."""
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, "edge")
+        kernel.schedule(1.0 + 2 ** -40, fired.append, "after")
+        assert kernel.run(until=1.0) == 1
+        assert fired == ["edge"]
+        assert kernel.now == 1.0
+        kernel.run()
+        assert fired == ["edge", "after"]
+
+    def test_cancel_then_reschedule_keeps_handle_order(self):
+        """A callback cancelled and rescheduled at the same time runs in
+        its *new* handle position; the dead handle stays dead."""
+        kernel = Kernel()
+        order = []
+        first = kernel.schedule(1.0, order.append, "stale")
+        kernel.schedule(1.0, order.append, "kept")
+        kernel.cancel(first)
+        kernel.schedule(1.0, order.append, "rearmed")
+        kernel.cancel(first)  # idempotent on an already-dead handle
+        kernel.run()
+        assert order == ["kept", "rearmed"]
+        assert kernel.pending == 0
+
+    def test_mass_cancellation_leaves_heap_live(self):
+        """Cancelling many entries must not strand the survivors behind
+        dead heap nodes: pending, next_time, and execution all reflect
+        only the live entries."""
+        kernel = Kernel()
+        fired = []
+        handles = [kernel.schedule(1.0 + index * 0.1, fired.append, index)
+                   for index in range(100)]
+        for handle in handles[:99]:
+            kernel.cancel(handle)
+        assert kernel.pending == 1
+        assert kernel.next_time() == pytest.approx(1.0 + 99 * 0.1)
+        assert kernel.run() == 1
+        assert fired == [99]
+        assert kernel._queue == [] and kernel._live == {}
+
     def test_cancel_after_fire_does_not_leak(self):
         """Cancelling a handle that already fired must not retain state.
 
