@@ -12,22 +12,37 @@ the same instruction stream.
 
 import pytest
 
+import os
 import time
 
 from repro.bench.reporting import dump_results, format_table
 from repro.network.experiments import convergecast, lifetime_comparison
 
 
-def run_experiment():
+def run_experiment(telemetry_path=None):
     result = convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
-                          sample_every=0.5)
+                          sample_every=0.5, telemetry=telemetry_path)
     comparison = lifetime_comparison(result, battery_j=2000.0)
     return result, comparison
 
 
 def test_convergecast_lifetime(benchmark):
+    # With BENCH_RESULTS_DIR set, record the run's live telemetry stream
+    # next to the JSON dump: CI uploads it as an artifact, and any
+    # ``snap-top --file ... --once`` can replay what a dashboard
+    # attached to this benchmark would have shown.  Streaming rides
+    # read-only observability paths, so the benchmark numbers are
+    # unchanged by it.
+    results_dir = os.environ.get("BENCH_RESULTS_DIR")
+    telemetry_path = None
+    if results_dir:
+        os.makedirs(results_dir, exist_ok=True)
+        telemetry_path = os.path.join(results_dir,
+                                      "TELEMETRY_network_lifetime.ndjson")
+
     started = time.perf_counter()
     result, comparison = benchmark.pedantic(run_experiment,
+                                            args=(telemetry_path,),
                                             rounds=1, iterations=1)
     wall_time_s = time.perf_counter() - started
 

@@ -34,6 +34,10 @@ class Kernel:
         #: Set by :meth:`run`: the ``until`` horizon of the active run
         #: (None outside a run or for unbounded runs).
         self._horizon = None
+        #: Cumulative callbacks executed over the kernel's lifetime.
+        #: Host-side telemetry only (events/s heartbeats); not part of
+        #: any checkpoint or digest.
+        self.executed = 0
         #: True while inside an unbounded :meth:`run` (no ``max_events``):
         #: components may batch work between events.  ``step()`` called
         #: directly -- e.g. by a debugger -- keeps single-event semantics.
@@ -43,6 +47,13 @@ class Kernel:
     def now(self):
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def horizon(self):
+        """The ``until`` bound of the active :meth:`run`, or ``None``
+        outside a run / for unbounded runs.  Lets periodic host-side
+        callbacks (progress heartbeats) compute an ETA."""
+        return self._horizon
 
     def schedule(self, delay, callback, *args):
         """Schedule ``callback(*args)`` to run *delay* seconds from now.
@@ -89,6 +100,7 @@ class Kernel:
                 continue
             del self._live[entry[1]]
             self._now = entry[0]
+            self.executed += 1
             callback(*entry[3])
             return True
         return False

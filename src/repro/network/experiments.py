@@ -71,7 +71,7 @@ class ConvergecastResult:
 
 def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
                  voltage=0.6, seed=0, sample_every=None, fast_path=True,
-                 obs=None):
+                 obs=None, telemetry=None, telemetry_interval=None):
     """Run a convergecast chain: node N .. node 2 report to node 1.
 
     Nodes sit on a line with radio range one hop; every non-sink node
@@ -87,6 +87,14 @@ def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
     :class:`~repro.obs.Observability` context (or a
     :class:`~repro.obs.Blackbox`, via its ``observe``/``watchdog``)
     to the whole network before the run -- also bit-identical.
+
+    *telemetry* optionally streams the run: pass a
+    :class:`~repro.obs.transports.TelemetryTransport` (or an NDJSON
+    path) and a :class:`~repro.obs.telemetry.TelemetryExporter` is
+    armed over the whole network for the duration, flushing every
+    *telemetry_interval* simulated seconds.  Telemetry rides the same
+    read-only observability paths, so a streamed run stays bit-identical
+    too (``tests/test_telemetry.py`` pins this on the meter digests).
     """
     config = CoreConfig(voltage=voltage, fast_path=fast_path)
     net = NetworkSimulator(comm_range=1.5)
@@ -130,9 +138,18 @@ def convergecast(chain_length=4, period_s=0.1, duration_s=10.0,
     if sample_every:
         sampler = net.timeline_sampler(sample_every)
 
+    exporter = None
+    if telemetry is not None:
+        kwargs = {} if telemetry_interval is None else \
+            {"interval": telemetry_interval}
+        exporter = net.telemetry_exporter(telemetry, horizon=duration_s,
+                                          **kwargs)
+
     net.run(until=duration_s)
     if sampler is not None:
         sampler.sample()  # final aligned row at the end of the run
+    if exporter is not None:
+        exporter.close()
 
     reports = {}
     all_nodes = dict(reporters)

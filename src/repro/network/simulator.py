@@ -55,6 +55,26 @@ class NetworkSimulator:
             sampler.start(first_delay=first_delay)
         return sampler
 
+    def telemetry_exporter(self, transport, interval=None, start=True,
+                           horizon=None, **kwargs):
+        """Create (and by default start) a streaming telemetry exporter
+        covering every node of this network.
+
+        Reuses the attached observability context when present (creating
+        and attaching one otherwise) and returns the armed
+        :class:`~repro.obs.telemetry.TelemetryExporter`; remember to
+        ``close()`` it when the run ends.
+        """
+        from repro.obs.telemetry import DEFAULT_INTERVAL, TelemetryExporter
+
+        exporter = TelemetryExporter.for_network(
+            self, transport,
+            interval=DEFAULT_INTERVAL if interval is None else interval,
+            **kwargs)
+        if start:
+            exporter.start(horizon=horizon)
+        return exporter
+
     def start(self):
         """Start every loaded node's processor.
 

@@ -16,7 +16,12 @@ Cooperating pieces, all opt-in and zero-cost when detached:
   **watchdog** (:mod:`repro.obs.watchdog`) re-checking simulator
   invariants at a fixed cadence, and **crash bundles**
   (:mod:`repro.obs.postmortem`) that symbolicate the recorded tail back
-  to C source lines on any fault (CLI: ``snap-flight``).
+  to C source lines on any fault (CLI: ``snap-flight``);
+* a **telemetry exporter** (:mod:`repro.obs.telemetry`) streaming
+  batched deltas of all of the above as versioned NDJSON
+  (``repro.obs.telemetry/1``) over non-blocking transports
+  (:mod:`repro.obs.transports`) -- file, stdout, or a localhost socket
+  that live ``snap-top`` dashboards attach to mid-run.
 
 Typical use::
 
@@ -52,7 +57,15 @@ from repro.obs.postmortem import (
     write_bundle,
 )
 from repro.obs.profiler import HandlerProfile, PcProfile, Profiler
+from repro.obs.telemetry import TelemetryExporter, TelemetryView
 from repro.obs.timeline import TimelineSampler
+from repro.obs.transports import (
+    FileTransport,
+    NullTransport,
+    SocketServerTransport,
+    StreamTransport,
+    TelemetryTransport,
+)
 from repro.obs.watchdog import InvariantViolation, Watchdog
 
 __all__ = [
@@ -84,4 +97,11 @@ __all__ = [
     "HandlerProfile",
     "PcProfile",
     "TimelineSampler",
+    "TelemetryExporter",
+    "TelemetryView",
+    "TelemetryTransport",
+    "FileTransport",
+    "StreamTransport",
+    "NullTransport",
+    "SocketServerTransport",
 ]

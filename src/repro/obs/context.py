@@ -63,6 +63,10 @@ class Observability:
         #: :meth:`register_processor`; lets the flight recorder and
         #: crash-bundle builder find core state by node name.
         self.processors = {}
+        #: Optional :class:`~repro.obs.telemetry.TelemetryExporter`,
+        #: set by the exporter itself when it attaches; lets the
+        #: blackbox embed the live stream tail in crash bundles.
+        self.telemetry = None
 
     def observe(self, target):
         """Attach this context to any instrumentable *target*.

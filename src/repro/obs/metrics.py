@@ -105,7 +105,8 @@ class Histogram:
 
     def summary(self):
         return {"count": self.count, "total": self.total,
-                "mean": self.mean, "min": self.min, "max": self.max,
+                "sum": self.total, "mean": self.mean,
+                "min": self.min, "max": self.max,
                 "p50": self.percentile(50), "p90": self.percentile(90),
                 "p99": self.percentile(99)}
 
@@ -153,3 +154,26 @@ class MetricsRegistry:
             else:
                 result[name] = metric.value
         return result
+
+    def diff(self, prev):
+        """Only the metrics that changed since *prev* (a prior
+        :meth:`snapshot` dict, or ``None`` for everything).
+
+        Returns a snapshot-shaped dict restricted to instruments whose
+        value moved -- new metrics are always included.  Histograms
+        compare by their full summary, so a quantile shift with an
+        unchanged count still registers.  This is the delta source for
+        the telemetry exporter's ``metrics`` records, and is handy on
+        its own for "what moved during this window" debugging.
+        """
+        if prev is None:
+            return self.snapshot()
+        changed = OrderedDict()
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                value = metric.summary()
+            else:
+                value = metric.value
+            if name not in prev or prev[name] != value:
+                changed[name] = value
+        return changed

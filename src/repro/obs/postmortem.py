@@ -24,6 +24,10 @@ Bundle schema (``repro.obs.crash-bundle/1``):
 * ``events_tail`` -- the flight recorder's recent system events;
 * ``journeys`` -- in-flight/recent packet journeys when a journey
   tracker was attached;
+* ``telemetry`` (optional) -- the streaming telemetry exporter's recent
+  record tail and delivery counters, when a
+  :class:`~repro.obs.telemetry.TelemetryExporter` was armed: the last
+  thing every attached dashboard saw before the crash;
 * ``checkpoint`` (optional) -- the blackbox's most recent periodic
   :mod:`repro.sim.checkpoint` snapshot, so ``snap-flight replay-tail
   --replay`` can restore and re-run only the tail up to the crash.
@@ -103,6 +107,8 @@ def build_crash_bundle(error=None, reason=None, kernel=None, processors=(),
     if obs is not None and getattr(obs, "journeys", None) is not None:
         bundle["journeys"] = [journey.summary()
                               for journey in obs.journeys.journeys[-8:]]
+    if obs is not None and getattr(obs, "telemetry", None) is not None:
+        bundle["telemetry"] = obs.telemetry.tail_snapshot()
     if checkpoint is not None:
         bundle["checkpoint"] = checkpoint
     return bundle

@@ -38,13 +38,18 @@ class TimelineSampler:
     kernel simply stops running.
     """
 
-    def __init__(self, kernel, nodes, interval, obs=None):
+    def __init__(self, kernel, nodes, interval, obs=None, retain=True):
         if interval <= 0:
             raise ValueError("sampling interval must be positive")
         self.kernel = kernel
         self.nodes = nodes
         self.interval = interval
         self.obs = obs
+        #: With ``retain=False`` rows are returned from :meth:`sample`
+        #: (and emitted on the bus) but not accumulated in ``rows`` --
+        #: the telemetry exporter samples on every flush of an
+        #: arbitrarily long run and must not grow host memory with it.
+        self.retain = retain
         self.rows = []
         self._running = False
         #: Previous cumulative radio (tx_time, rx_time) per node, for
@@ -52,9 +57,9 @@ class TimelineSampler:
         self._last_radio = {}
 
     @classmethod
-    def for_network(cls, net, interval, obs=None):
+    def for_network(cls, net, interval, obs=None, retain=True):
         """A sampler over every node of a :class:`NetworkSimulator`."""
-        return cls(net.kernel, net.nodes, interval, obs=obs)
+        return cls(net.kernel, net.nodes, interval, obs=obs, retain=retain)
 
     # -- scheduling -----------------------------------------------------------
 
@@ -78,11 +83,17 @@ class TimelineSampler:
     # -- sampling -------------------------------------------------------------
 
     def sample(self):
-        """Take one aligned snapshot of every node right now."""
+        """Take one aligned snapshot of every node right now.
+
+        Returns the list of rows produced by this call (one per node);
+        with :attr:`retain` set they are also appended to :attr:`rows`.
+        """
         now = self.kernel.now
-        for node_id, node in self.nodes.items():
-            self.rows.append(self._row(now, node_id, node))
-        return self
+        new_rows = [self._row(now, node_id, node)
+                    for node_id, node in self.nodes.items()]
+        if self.retain:
+            self.rows.extend(new_rows)
+        return new_rows
 
     def _row(self, now, node_id, node):
         meter = node.meter

@@ -1,0 +1,257 @@
+"""Non-blocking transports for the streaming telemetry exporter.
+
+A transport moves one NDJSON line at a time from the simulation process
+to whoever is watching it.  The cardinal rule, shared by every
+implementation here, is that **a transport must never block the
+simulation kernel**: a slow disk flushes late, a slow or vanished socket
+consumer gets records *dropped and counted*, never awaited.  The
+exporter surfaces the drop counters in its ``progress`` records, so a
+consumer can tell when its view has holes.
+
+Implementations:
+
+* :class:`FileTransport` -- append NDJSON lines to a file (or an open
+  handle); the durable option, never drops.
+* :class:`StreamTransport` -- write to an existing text stream
+  (stdout by default) for piping straight into ``snap-top`` or ``jq``.
+* :class:`SocketServerTransport` -- a localhost TCP fan-out server:
+  ``snap-run --telemetry-port`` hosts one, any number of ``snap-top``
+  clients attach and detach mid-run.  All sockets are non-blocking;
+  each client gets a bounded pending buffer and whole-record drops on
+  overflow, and a broken client is reaped, so a malformed or abandoned
+  consumer cannot stall the simulation.
+* :class:`NullTransport` -- discard everything (lets ``snap-run
+  --progress`` reuse the exporter machinery without a stream).
+"""
+
+import errno
+import socket
+
+
+class TelemetryTransport:
+    """Interface and shared counters for telemetry transports.
+
+    ``send(line)`` takes one complete NDJSON line (no trailing newline)
+    and returns ``True`` when the record was accepted for delivery to at
+    least one destination.  ``sent`` counts accepted records;
+    ``dropped`` counts records discarded because a destination could not
+    keep up (per destination: a record dropped for two slow clients
+    counts twice).
+    """
+
+    def __init__(self):
+        self.sent = 0
+        self.dropped = 0
+
+    def send(self, line):
+        raise NotImplementedError
+
+    def poll(self):
+        """Service the transport between batches.
+
+        Returns ``True`` when a *new* consumer appeared since the last
+        poll and the exporter should re-send its stream preamble (hello
+        plus a full metrics snapshot) so delta decoding can start from a
+        known base.  Default: no new consumers, ever.
+        """
+        return False
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+
+class FileTransport(TelemetryTransport):
+    """Append NDJSON lines to *path* (or an already-open text handle)."""
+
+    def __init__(self, path_or_handle):
+        super().__init__()
+        if isinstance(path_or_handle, str):
+            self._handle = open(path_or_handle, "w")
+            self._owns = True
+        else:
+            self._handle = path_or_handle
+            self._owns = False
+
+    def send(self, line):
+        if self._handle is None:
+            return False
+        self._handle.write(line)
+        self._handle.write("\n")
+        self.sent += 1
+        return True
+
+    def flush(self):
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.flush()
+            if self._owns:
+                self._handle.close()
+            self._handle = None
+
+
+class StreamTransport(FileTransport):
+    """Write NDJSON lines to an existing text stream (never closed)."""
+
+    def __init__(self, stream=None):
+        import sys
+        super().__init__(stream if stream is not None else sys.stdout)
+
+
+class NullTransport(TelemetryTransport):
+    """Accept and discard every record (progress-only exporter runs)."""
+
+    def send(self, line):
+        self.sent += 1
+        return True
+
+
+class _Client:
+    """One attached consumer of a :class:`SocketServerTransport`."""
+
+    __slots__ = ("sock", "pending", "dropped", "address")
+
+    def __init__(self, sock, address):
+        self.sock = sock
+        self.address = address
+        self.pending = bytearray()
+        self.dropped = 0
+
+
+class SocketServerTransport(TelemetryTransport):
+    """Fan NDJSON lines out to TCP clients without ever blocking.
+
+    Binds a listening socket on *host*:*port* (``port=0`` picks an
+    ephemeral port; read :attr:`port` after construction).  Clients are
+    accepted lazily from :meth:`poll` -- the exporter calls it once per
+    flush -- and each holds a pending byte buffer bounded by
+    *max_pending*.  When a record does not fit in a client's buffer the
+    record is dropped *for that client* and counted; the bytes already
+    queued stay intact so the client's NDJSON framing never tears
+    mid-line.  Write errors (consumer closed its end, reset, vanished)
+    reap the client.  Anything a client sends *to* us is drained and
+    ignored, so a confused consumer writing garbage cannot wedge the
+    socket either.
+    """
+
+    #: Default per-client pending ceiling: a few thousand telemetry
+    #: records -- enough to ride out a terminal redraw, small enough
+    #: that an abandoned consumer costs a bounded amount of memory.
+    DEFAULT_MAX_PENDING = 256 * 1024
+
+    def __init__(self, host="127.0.0.1", port=0,
+                 max_pending=DEFAULT_MAX_PENDING):
+        super().__init__()
+        self.max_pending = max_pending
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self._listener.setblocking(False)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._clients = []
+
+    @property
+    def address(self):
+        return "%s:%d" % (self.host, self.port)
+
+    @property
+    def clients(self):
+        """Number of currently attached consumers."""
+        return len(self._clients)
+
+    # -- consumer management ---------------------------------------------------
+
+    def poll(self):
+        """Accept pending connections; ``True`` when anyone new joined."""
+        if self._listener is None:
+            return False
+        joined = False
+        while True:
+            try:
+                sock, address = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                break
+            sock.setblocking(False)
+            self._clients.append(_Client(sock, address))
+            joined = True
+        # Drain (and ignore) anything consumers wrote to us; a closed
+        # peer surfaces here as EOF and is reaped without a write.
+        for client in list(self._clients):
+            self._drain_input(client)
+        return joined
+
+    def _drain_input(self, client):
+        while True:
+            try:
+                data = client.sock.recv(4096)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._reap(client)
+                return
+            if not data:        # orderly shutdown from the consumer
+                self._reap(client)
+                return
+
+    def _reap(self, client):
+        try:
+            client.sock.close()
+        except OSError:
+            pass
+        if client in self._clients:
+            self._clients.remove(client)
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, line):
+        data = (line + "\n").encode("utf-8")
+        delivered = False
+        for client in list(self._clients):
+            if len(client.pending) + len(data) > self.max_pending:
+                client.dropped += 1
+                self.dropped += 1
+            else:
+                client.pending += data
+                delivered = True
+            self._pump(client)
+        self.sent += 1
+        return delivered or not self._clients
+
+    def _pump(self, client):
+        """Push as much pending data as the OS will take right now."""
+        while client.pending:
+            try:
+                written = client.sock.send(client.pending)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError as error:
+                if error.errno in (errno.EAGAIN, errno.EWOULDBLOCK):
+                    return
+                self._reap(client)
+                return
+            if written <= 0:
+                return
+            del client.pending[:written]
+
+    def flush(self):
+        for client in list(self._clients):
+            self._pump(client)
+
+    def close(self):
+        for client in list(self._clients):
+            self._pump(client)
+            self._reap(client)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None

@@ -17,8 +17,8 @@ What is captured
   heap entry.  Callbacks are serialized as typed descriptors
   (``cpu_step``, ``timer_expire``, ``radio_tx_done``, ``sensor_fire``)
   and re-bound to the restored components.  Host-side observability
-  callbacks (watchdog ticks, timeline samplers, the blackbox's own
-  checkpoint tick) are *skipped* and listed under
+  callbacks (watchdog ticks, timeline samplers, telemetry flushes, the
+  blackbox's own checkpoint tick) are *skipped* and listed under
   ``skipped_callbacks`` -- they never affect simulation state, and the
   caller re-arms observability after restore.
 * **Per node** -- register file, carry, pc, LFSR, IMEM/DMEM contents and
@@ -80,6 +80,7 @@ _HOST_CALLBACK_QUALNAMES = (
     "Watchdog._tick",
     "TimelineSampler._tick",
     "Blackbox._checkpoint_tick",
+    "TelemetryExporter._tick",
 )
 
 

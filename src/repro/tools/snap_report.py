@@ -9,6 +9,13 @@ registry (:mod:`repro.report.claims`), and emits:
 * the regenerated measured-column block for ``EXPERIMENTS.md``
   (``--experiments-block [PATH]``).
 
+A separate mode, ``--trajectory DIR [DIR ...]``, aggregates the
+``BENCH_*.json`` dumps of several results directories (the current run
+plus archived ones, oldest first) into a cross-run trajectory table --
+one row per metric, one column per run, with first-to-last movement --
+and optionally the machine-readable ``repro.report.trajectory/1``
+payload (``--trajectory-json PATH``).
+
 With ``--baseline tests/goldens/fidelity_baseline.json`` the exit code
 gates on *regressions* against the committed grades instead of absolute
 failures, so a claim that has always been ``within_band`` does not fail
@@ -25,6 +32,8 @@ Usage::
         --json BENCH_FIDELITY.json --baseline tests/goldens/fidelity_baseline.json
     python -m repro.tools.snap_report --results-dir bench-results/
     python -m repro.tools.snap_report --run --selftest-perturb 1.4
+    python -m repro.tools.snap_report --trajectory archive/run-01 \\
+        archive/run-02 bench-results/ --trajectory-json trajectory.json
 
 Exit codes: 0 gate passed, 1 gate failed (or self-test did not trip),
 2 usage error.
@@ -98,7 +107,36 @@ def main(argv=None):
                         help="do not fail the gate on claims whose "
                              "benchmark payloads were not measured (for "
                              "partial --results-dir ingests)")
+    parser.add_argument("--trajectory", metavar="DIR", nargs="+",
+                        default=None,
+                        help="aggregate BENCH_*.json dumps from several "
+                             "results directories (oldest first) into a "
+                             "cross-run trajectory table and exit")
+    parser.add_argument("--trajectory-json", metavar="PATH",
+                        help="with --trajectory, also write the "
+                             "repro.report.trajectory/1 JSON payload")
     args = parser.parse_args(argv)
+
+    if args.trajectory:
+        if args.run or args.results_dir:
+            parser.error("--trajectory is a separate mode; drop "
+                         "--run/--results-dir")
+        from repro.report.trajectory import (
+            format_trajectory,
+            trajectory,
+            write_trajectory_json,
+        )
+        payload = trajectory(args.trajectory)
+        for directory in payload["skipped"]:
+            _log("no BENCH_*.json files in %s (skipped)" % directory)
+        if not payload["runs"]:
+            _log("no benchmark results in any given directory")
+            return 2
+        print(format_trajectory(payload))
+        if args.trajectory_json:
+            write_trajectory_json(args.trajectory_json, payload)
+            _log("trajectory written to %s" % args.trajectory_json)
+        return 0
 
     if args.list:
         for name in COLLECTORS:

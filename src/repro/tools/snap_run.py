@@ -10,6 +10,13 @@ a fixed simulated period, and ``--resume`` picks a saved checkpoint
 back up and continues bit-identically -- the resumed run's meters match
 an uninterrupted run exactly.
 
+Long runs can be watched live: ``--progress`` prints a heartbeat line
+(simulated time, wall time, events/s, ETA) to stderr, ``--telemetry
+PATH`` records the full ``repro.obs.telemetry/1`` NDJSON stream (``-``
+for stdout), and ``--telemetry-port N`` serves the stream on a
+localhost socket that any number of ``snap-top`` dashboards can attach
+to and detach from mid-run without perturbing the simulation.
+
 Usage::
 
     python -m repro.tools.snap_run program.s --voltage 0.6 --until 1e-3
@@ -17,6 +24,8 @@ Usage::
     python -m repro.tools.snap_run app.s --until 2.0 \
         --checkpoint-every 0.5 --checkpoint-path app.ckpt.json
     python -m repro.tools.snap_run --resume app.ckpt.json --until 2.0
+    python -m repro.tools.snap_run app.s --until 60 --progress \
+        --telemetry-port 9317        # then: snap-top --connect :9317
 """
 
 import argparse
@@ -30,6 +39,72 @@ from repro.sim.checkpoint import Checkpoint, CheckpointError, capture
 from repro.tools.hexfile import load_words
 
 DEFAULT_CHECKPOINT_PATH = "snap-run.ckpt.json"
+
+DEFAULT_TELEMETRY_INTERVAL = 0.05
+
+
+def _progress_printer(stream=None):
+    """A heartbeat-line callback for the telemetry exporter's
+    ``progress`` records: one updating line on a tty, one line per
+    heartbeat otherwise."""
+    stream = stream if stream is not None else sys.stderr
+    tty = stream.isatty() if hasattr(stream, "isatty") else False
+
+    def emit(record):
+        parts = []
+        done = record.get("done")
+        if done is not None:
+            parts.append("%3d%%" % round(done * 100))
+        parts.append("sim %.3fs" % record["sim_s"])
+        parts.append("wall %.1fs" % record["wall_s"])
+        rate = record.get("events_s") or 0.0
+        parts.append("%.0f ev/s" % rate if rate < 1e4
+                     else "%.0fk ev/s" % (rate / 1e3))
+        eta = record.get("eta_s")
+        if eta is not None:
+            parts.append("eta %.1fs" % eta)
+        line = "snap-run: " + " | ".join(parts)
+        if tty:
+            stream.write("\r" + line + "\x1b[K")
+        else:
+            stream.write(line + "\n")
+        stream.flush()
+
+    emit.finish = lambda: (stream.write("\n"), stream.flush()) if tty \
+        else None
+    return emit
+
+
+def _build_exporter(node, args):
+    """Arm a telemetry exporter per the --telemetry*/--progress flags;
+    returns ``None`` when none were given."""
+    if not (args.telemetry or args.telemetry_port is not None
+            or args.progress):
+        return None
+    from repro.obs.telemetry import TelemetryExporter
+    from repro.obs.transports import (
+        NullTransport,
+        SocketServerTransport,
+        StreamTransport,
+    )
+
+    if args.telemetry == "-":
+        transport = StreamTransport()
+    elif args.telemetry:
+        transport = args.telemetry        # path: exporter opens the file
+    elif args.telemetry_port is not None:
+        transport = SocketServerTransport(port=args.telemetry_port)
+        print("telemetry    : serving %s on %s"
+              % ("repro.obs.telemetry/1", transport.address),
+              file=sys.stderr)
+    else:
+        transport = NullTransport()
+    on_progress = _progress_printer() if args.progress else None
+    exporter = TelemetryExporter.for_node(
+        node, transport, interval=args.telemetry_interval,
+        on_progress=on_progress)
+    exporter.start(horizon=args.until)
+    return exporter
 
 
 def load_program(paths):
@@ -127,6 +202,20 @@ def main(argv=None):
     parser.add_argument("--resume", metavar="CHECKPOINT",
                         help="resume from a saved checkpoint instead of "
                         "loading a program")
+    telemetry = parser.add_mutually_exclusive_group()
+    telemetry.add_argument("--telemetry", metavar="PATH",
+                           help="stream repro.obs.telemetry/1 NDJSON to "
+                           "PATH ('-' for stdout)")
+    telemetry.add_argument("--telemetry-port", type=int, metavar="N",
+                           help="serve the telemetry stream on localhost "
+                           "TCP port N (0 picks a free port) for snap-top")
+    parser.add_argument("--telemetry-interval", type=float,
+                        default=DEFAULT_TELEMETRY_INTERVAL, metavar="S",
+                        help="telemetry flush cadence in simulated seconds "
+                        "(default %(default)s)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a heartbeat line (sim time, wall time, "
+                        "events/s, ETA) to stderr while running")
     args = parser.parse_args(argv)
 
     if bool(args.inputs) == bool(args.resume):
@@ -150,6 +239,8 @@ def main(argv=None):
     if args.checkpoint_every and not checkpoint_path:
         checkpoint_path = DEFAULT_CHECKPOINT_PATH
 
+    exporter = _build_exporter(node, args)
+
     processor = node.processor
     resumed_at = processor.kernel.now
     try:
@@ -157,6 +248,11 @@ def main(argv=None):
     except SimulationError as error:
         print("snap-run: %s" % error, file=sys.stderr)
         return 1
+    finally:
+        if exporter is not None:
+            exporter.close()
+            if args.progress and exporter.on_progress is not None:
+                exporter.on_progress.finish()
 
     if tracer is not None:
         print(tracer.format())

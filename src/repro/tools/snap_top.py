@@ -1,0 +1,276 @@
+"""``snap-top``: a live terminal dashboard for a running simulation.
+
+Attaches to the ``repro.obs.telemetry/1`` NDJSON stream that a
+``snap-run --telemetry-port`` (or any :class:`SocketServerTransport`)
+is serving, or replays a recorded stream from a file or stdin, and
+renders per-node energy drain, duty cycles, queue depths, packet
+delivery and drop rates, the hottest handlers, and watchdog status --
+refreshed from the delta stream alone, with no access to the simulator
+process.
+
+Usage::
+
+    snap-top --connect 127.0.0.1:9317      # attach to a live run
+    snap-top --file run.ndjson --once      # render a recorded stream
+    snap-run ... --telemetry - | snap-top  # pipe through stdin
+
+``--once`` waits for the first complete batch (or end of input), prints
+a single frame without cursor control, and exits -- the headless/CI
+mode.  Live mode redraws every ``--interval`` seconds and exits when
+the stream says ``bye`` or the producer goes away.  A mid-run attach
+works because the exporter re-sends its preamble (hello plus a full
+metrics snapshot) to every new consumer.
+"""
+
+import argparse
+import select
+import socket
+import sys
+import time
+
+from repro.obs.telemetry import TelemetryView
+
+#: How long --connect keeps retrying before giving up (seconds).
+DEFAULT_RETRY_S = 5.0
+
+#: Live-mode redraw cadence (wall seconds).
+DEFAULT_INTERVAL_S = 0.5
+
+#: ANSI: home the cursor and clear to end of screen (full-frame redraw
+#: without the flash a whole-screen erase causes).
+CLEAR = "\x1b[H\x1b[J"
+
+
+class LineSource:
+    """Interface: incremental NDJSON line supply for the dashboard."""
+
+    eof = False
+
+    def poll(self, timeout):
+        """Up to *timeout* seconds of waiting; returns a list of
+        complete lines that arrived (possibly empty)."""
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+
+class SocketSource(LineSource):
+    """Lines from a telemetry socket server, with connect retries."""
+
+    def __init__(self, host, port, retry_s=DEFAULT_RETRY_S):
+        self.eof = False
+        self._buffer = b""
+        self._sock = self._connect(host, port, retry_s)
+
+    @staticmethod
+    def _connect(host, port, retry_s):
+        deadline = time.monotonic() + retry_s
+        while True:
+            try:
+                return socket.create_connection((host, port), timeout=1.0)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.1)
+
+    def poll(self, timeout):
+        if self.eof:
+            return []
+        try:
+            readable, _, _ = select.select([self._sock], [], [], timeout)
+        except (OSError, ValueError):
+            self.eof = True
+            return []
+        if not readable:
+            return []
+        try:
+            data = self._sock.recv(65536)
+        except OSError:
+            self.eof = True
+            return []
+        if not data:
+            self.eof = True
+            return self._take_lines(flush=True)
+        self._buffer += data
+        return self._take_lines()
+
+    def _take_lines(self, flush=False):
+        lines = self._buffer.split(b"\n")
+        if flush:
+            self._buffer = b""
+        else:
+            self._buffer = lines.pop()
+        return [line.decode("utf-8", "replace") for line in lines if line]
+
+    def close(self):
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class FileSource(LineSource):
+    """Lines from a recorded (possibly still-growing) NDJSON file."""
+
+    def __init__(self, path, follow=False):
+        self._handle = open(path)
+        self._follow = follow
+        self.eof = False
+
+    def poll(self, timeout):
+        lines = []
+        while True:
+            position = self._handle.tell()
+            line = self._handle.readline()
+            if line.endswith("\n"):
+                lines.append(line)
+            else:
+                # Partial trailing line: rewind so the rest is read once
+                # the producer finishes it.
+                self._handle.seek(position)
+                break
+        if not lines:
+            if not self._follow:
+                self.eof = True
+            elif timeout:
+                time.sleep(timeout)
+        return lines
+
+    def close(self):
+        self._handle.close()
+
+
+class StreamSource(LineSource):
+    """Lines from an already-open text stream (stdin pipe)."""
+
+    def __init__(self, stream):
+        self._stream = stream
+        self.eof = False
+
+    def poll(self, timeout):
+        try:
+            readable, _, _ = select.select([self._stream], [], [], timeout)
+        except (OSError, ValueError):
+            # Not selectable (e.g. a StringIO in tests): drain everything.
+            lines = self._stream.readlines()
+            self.eof = True
+            return lines
+        if not readable:
+            return []
+        line = self._stream.readline()
+        if not line:
+            self.eof = True
+            return []
+        return [line]
+
+
+def _parse_endpoint(text):
+    host, _, port = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected HOST:PORT, got %r" % text)
+
+
+def _open_source(args, stdin):
+    if args.connect:
+        host, port = _parse_endpoint(args.connect)
+        return SocketSource(host, port, retry_s=args.retry)
+    if args.file:
+        return FileSource(args.file, follow=not args.once)
+    return StreamSource(stdin if stdin is not None else sys.stdin)
+
+
+def _frame_width(args, stdout):
+    if args.width:
+        return args.width
+    if stdout.isatty() if hasattr(stdout, "isatty") else False:
+        import shutil
+        return shutil.get_terminal_size().columns
+    return 120
+
+
+def main(argv=None, stdout=None, stdin=None):
+    parser = argparse.ArgumentParser(
+        prog="snap-top",
+        description="Live dashboard over a repro.obs.telemetry/1 stream.")
+    source_group = parser.add_mutually_exclusive_group()
+    source_group.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="attach to a running snap-run --telemetry-port socket")
+    source_group.add_argument(
+        "--file", metavar="PATH",
+        help="read a recorded NDJSON stream (followed unless --once)")
+    parser.add_argument(
+        "--once", action="store_true",
+        help="print one frame after the first complete batch and exit")
+    parser.add_argument(
+        "--interval", type=float, default=DEFAULT_INTERVAL_S,
+        metavar="S", help="redraw cadence in seconds (default %(default)s)")
+    parser.add_argument(
+        "--retry", type=float, default=DEFAULT_RETRY_S, metavar="S",
+        help="keep retrying --connect for this long (default %(default)s)")
+    parser.add_argument(
+        "--width", type=int, default=None,
+        help="frame width in columns (default: terminal width)")
+    args = parser.parse_args(argv)
+    out = stdout if stdout is not None else sys.stdout
+
+    try:
+        source = _open_source(args, stdin)
+    except OSError as error:
+        print("snap-top: cannot attach to %s: %s" % (args.connect, error),
+              file=sys.stderr)
+        return 1
+
+    view = TelemetryView()
+    width = _frame_width(args, out)
+    use_ansi = (not args.once
+                and (out.isatty() if hasattr(out, "isatty") else False))
+    try:
+        if args.once:
+            _drain_until_ready(source, view, args.retry)
+            out.write(view.render(width=width) + "\n")
+            return 0
+        last_draw = 0.0
+        while True:
+            for line in source.poll(min(args.interval, 0.25)):
+                view.apply_line(line)
+            now = time.monotonic()
+            if now - last_draw >= args.interval or source.eof \
+                    or view.bye is not None:
+                last_draw = now
+                frame = view.render(width=width)
+                if use_ansi:
+                    out.write(CLEAR + frame + "\n")
+                else:
+                    out.write(frame + "\n\n")
+                out.flush()
+            if view.bye is not None or source.eof:
+                return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        source.close()
+
+
+def _drain_until_ready(source, view, timeout):
+    """Consume input until one full batch has been applied (the view has
+    its first progress heartbeat), end of input, or *timeout*."""
+    deadline = time.monotonic() + timeout
+    while not source.eof and time.monotonic() < deadline:
+        lines = source.poll(0.1)
+        for line in lines:
+            view.apply_line(line)
+        if view.ready and not lines:
+            break
+        if view.bye is not None:
+            break
+
+
+if __name__ == "__main__":
+    sys.exit(main())
