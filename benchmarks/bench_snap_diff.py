@@ -1,0 +1,81 @@
+"""snap-diff benchmark: the DVS comparative-analysis story, measured.
+
+The paper's dynamic-voltage-scaling claim is a *cross-run* statement:
+the same workload at 0.6V spends a fraction of the energy it spends at
+1.8V, instruction for instruction.  This benchmark drives that claim
+through the differential engine end to end -- two blink runs at the two
+published supply points, aligned in stable mode (the structure must be
+identical event for event) and compared per handler -- and times both
+the comparison and the full localization self-test (perturb the
+calibration, bisect, symbolicate).
+"""
+
+import time
+
+import pytest
+
+from repro.asm import build
+from repro.bench.reporting import dump_results, format_table
+from repro.core import CoreConfig
+from repro.node import SensorNode
+from repro.obs.diff import SELFTEST_APP, capture_run, compare, self_test
+
+HORIZON = 0.02
+
+
+def _blink_run(voltage, label):
+    node = SensorNode(node_id=0, config=CoreConfig(voltage=voltage))
+    node.load(build(SELFTEST_APP))
+    node.processor.start()
+    return capture_run(node, HORIZON, label=label)
+
+
+def _voltage_diff():
+    run_hi = _blink_run(1.8, "blink@1.8V")
+    run_lo = _blink_run(0.6, "blink@0.6V")
+    return compare(run_hi, run_lo, mode="stable")
+
+
+def test_cross_run_voltage_diff(benchmark):
+    started = time.perf_counter()
+    report = benchmark.pedantic(_voltage_diff, rounds=1, iterations=1)
+    wall = time.perf_counter() - started
+
+    # Same program, same event ordering: stable alignment is clean.
+    assert report["identical"] is True
+    # ... but every handler got cheaper at the low supply point.
+    handlers = [row for row in report["handlers"]
+                if row["a"] and row["b"]]
+    assert handlers
+    assert all(row["d_energy"] < 0 for row in handlers)
+    # Published shape: ~24 pJ/ins at 0.6V vs ~218 pJ/ins at 1.8V --
+    # roughly an order of magnitude per instruction.
+    timer = [row for row in handlers if row["handler"] == "TIMER0"][0]
+    ratio = timer["b"]["energy"] / timer["a"]["energy"]
+    assert ratio == pytest.approx(24.0 / 218.0, rel=0.5)
+
+    dump_results("snap_diff", {
+        "mode": report["mode"],
+        "identical": report["identical"],
+        "handlers": report["handlers"],
+        "energy_ratio_0v6_over_1v8": ratio,
+        "events": report["runs"]["a"]["events"],
+    }, wall_time_s=wall)
+
+    rows = [[row["handler"],
+             "%.2f" % (row["a"]["energy"] * 1e9),
+             "%.2f" % (row["b"]["energy"] * 1e9),
+             "%+.2f" % (row["d_energy"] * 1e9)]
+            for row in handlers]
+    print()
+    print(format_table(["handler", "nJ @1.8V", "nJ @0.6V", "delta nJ"],
+                       rows, title="snap-diff: blink across the DVS range"))
+
+
+def test_localization_self_test_speed(benchmark):
+    """The whole localization path -- two instrumented runs, alignment,
+    symbolication, verdict checks -- as one timed unit."""
+    ok, failures, report = benchmark.pedantic(self_test, rounds=1,
+                                              iterations=1)
+    assert ok, failures
+    assert report["divergence"]["handler"] == "TIMER0"

@@ -12,6 +12,7 @@ from repro.asm.objectfile import (
     RELOC_BRANCH6,
     SECTION_DATA,
     SECTION_TEXT,
+    UNMAPPED_FILE,
     Program,
 )
 from repro.isa.instruction import BRANCH_OFFSET_MAX, BRANCH_OFFSET_MIN
@@ -72,6 +73,12 @@ def link(modules, imem_words=IMEM_WORDS, dmem_words=DMEM_WORDS):
     line_table = []
     for module in modules:
         base = text_bases[module.name]
+        if module.text and (not module.lines or module.lines[0].offset > 0):
+            # Words before the module's first line entry (or all of a
+            # module assembled without line info) have no source
+            # mapping; without this sentinel, ``Program.lookup`` would
+            # attribute them to the previous module's last line.
+            line_table.append((base, UNMAPPED_FILE, 0))
         for entry in module.lines:
             line_table.append((base + entry.offset, entry.file, entry.line))
     line_table.sort()

@@ -65,6 +65,13 @@ class SourceLoc:
     file: Optional[str]
     line: Optional[int]
 
+    @property
+    def is_unknown(self):
+        """True when no table could place this address (out-of-range
+        PC, linker padding, or a ``.hex`` image with no symbols)."""
+        return (self.function is None and self.file is None
+                and self.line is None)
+
     def __str__(self):
         parts = []
         if self.function:
@@ -73,6 +80,17 @@ class SourceLoc:
             parts.append("%s:%s" % (self.file,
                                     self.line if self.line else "?"))
         return " at ".join(parts) if parts else "?"
+
+
+#: The typed unknown location.  ``Program.lookup`` returns this (rather
+#: than the nearest preceding table entry) for PCs outside the linked
+#: image and for words the linker marked as unmapped padding.
+UNKNOWN_LOC = SourceLoc(function=None, file=None, line=None)
+
+#: Line-table file marker for words with no source mapping (linker
+#: padding, modules assembled without line info).  Sorts before any real
+#: filename and is never a legal path.
+UNMAPPED_FILE = ""
 
 
 @dataclass
@@ -132,16 +150,27 @@ class Program:
         """Symbolicate an IMEM address into a :class:`SourceLoc`.
 
         Uses the linked function table (text symbols) and the merged
-        source-line table.  Fields the tables cannot resolve come back
-        ``None`` -- a ``.hex``-loaded image with no symbols yields
-        ``SourceLoc(None, None, None)``.
+        source-line table.  PCs outside ``[0, len(imem))`` and PCs the
+        linker marked as unmapped padding (:data:`UNMAPPED_FILE`
+        sentinel entries) return :data:`UNKNOWN_LOC` -- never the
+        nearest preceding entry, which would attribute padding to
+        whatever code happened to be linked before it.  Fields the
+        tables cannot resolve come back ``None`` -- a ``.hex``-loaded
+        image with no symbols yields the unknown location too.
         """
-        function = None
-        if self.func_table and pc >= self.func_table[0][0]:
-            index = bisect_right(self.func_table, (pc, "￿")) - 1
-            function = self.func_table[index][1]
+        if not isinstance(pc, int) or isinstance(pc, bool) \
+                or not 0 <= pc < len(self.imem):
+            return UNKNOWN_LOC
         file = line = None
         if self.line_table and pc >= self.line_table[0][0]:
             index = bisect_right(self.line_table, (pc, "￿", 1 << 30)) - 1
             _, file, line = self.line_table[index]
+            if file == UNMAPPED_FILE:
+                # Padding sentinel: this word has no source; suppress
+                # the function too rather than blame a neighbor.
+                return UNKNOWN_LOC
+        function = None
+        if self.func_table and pc >= self.func_table[0][0]:
+            index = bisect_right(self.func_table, (pc, "￿")) - 1
+            function = self.func_table[index][1]
         return SourceLoc(function=function, file=file, line=line)

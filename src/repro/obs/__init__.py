@@ -17,6 +17,13 @@ Cooperating pieces, all opt-in and zero-cost when detached:
   invariants at a fixed cadence, and **crash bundles**
   (:mod:`repro.obs.postmortem`) that symbolicate the recorded tail back
   to C source lines on any fault (CLI: ``snap-flight``);
+* a **differential analyzer** (:mod:`repro.obs.diff`) aligning two runs
+  event-by-event to localize their first divergence -- time window via
+  checkpoint bisection, node, handler, symbolicated PC, flight-recorder
+  tails -- and comparing intentionally different runs (two voltages, two
+  engines) as per-handler/per-PC/per-flow delta reports
+  (``repro.obs.diff/1``, CLI: ``snap-diff``), on the shared float-free
+  projections of :mod:`repro.obs.project`;
 * a **telemetry exporter** (:mod:`repro.obs.telemetry`) streaming
   batched deltas of all of the above as versioned NDJSON
   (``repro.obs.telemetry/1``) over non-blocking transports
@@ -48,6 +55,17 @@ from repro.obs.bus import (
 )
 from repro.obs.blackbox import Blackbox, FlightRecorder
 from repro.obs.context import Observability
+from repro.obs.diff import (
+    Bisector,
+    Divergence,
+    RunCapture,
+    align,
+    capture_from_checkpoint,
+    capture_run,
+    compare,
+    first_divergence,
+    load_trace,
+)
 from repro.obs.events import EVENT_KINDS, PacketSpan, TimelineSample, TraceEvent
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.postmortem import (
@@ -66,10 +84,29 @@ from repro.obs.transports import (
     StreamTransport,
     TelemetryTransport,
 )
+from repro.obs.project import (
+    STABLE_FIELDS,
+    project_event,
+    project_telemetry,
+    project_trace,
+)
 from repro.obs.watchdog import InvariantViolation, Watchdog
 
 __all__ = [
     "Observability",
+    "Bisector",
+    "Divergence",
+    "RunCapture",
+    "align",
+    "capture_from_checkpoint",
+    "capture_run",
+    "compare",
+    "first_divergence",
+    "load_trace",
+    "STABLE_FIELDS",
+    "project_event",
+    "project_telemetry",
+    "project_trace",
     "Blackbox",
     "FlightRecorder",
     "Watchdog",

@@ -1,0 +1,115 @@
+"""Float-free projections of trace events and telemetry records.
+
+Golden tests, the telemetry dashboard regression, and the snap-diff
+alignment engine all need the same reduction: strip a typed event (or a
+telemetry stream record) down to the fields that are stable across
+hosts, refactors, and energy-model recalibrations -- types, ordering,
+names, PCs, mnemonics, queue depths, radio words, integer counters --
+and drop everything float-valued (times, energies, durations, rates).
+
+Until this module existed the reduction was copied between the golden
+trace tests and the telemetry stream tests; it now lives here so
+:mod:`repro.obs.diff` can align two runs on exactly the projection the
+goldens pin.
+
+Two projections are provided:
+
+* :func:`project_event` / :func:`project_trace` for
+  :class:`~repro.obs.events.TraceEvent` objects or their
+  ``to_record()`` dicts (trace-bus streams, JSONL trace files);
+* :func:`project_telemetry` for ``repro.obs.telemetry/1`` NDJSON
+  records.
+"""
+
+#: Per-kind trace-event fields that must stay stable across runs and
+#: refactors.  Times, energies, durations, and latencies are
+#: deliberately excluded: projections pin structure and ordering, not
+#: the energy model's floats.
+STABLE_FIELDS = {
+    "instruction": ("node", "pc", "mnemonic", "handler"),
+    "dispatch": ("node", "event", "handler"),
+    "sleep": ("node",),
+    "wakeup": ("node",),
+    "enqueue": ("node", "event", "depth"),
+    "drop": ("node", "event"),
+    "command": ("node", "command"),
+    "radio_tx": ("node", "word"),
+    "radio_rx": ("node", "word"),
+    "radio_drop": ("node", "word", "reason"),
+    "energy": ("node", "instructions"),
+    "span": ("node", "journey", "span", "parent", "op", "pkt", "src",
+             "dst", "seq", "words", "reason"),
+    "timeline": ("node", "radio_mode", "queue_depth", "instructions"),
+}
+
+
+def project_event(event):
+    """Reduce one trace event (object or record dict) to its stable core.
+
+    Unknown kinds keep every non-float field, so the projection degrades
+    gracefully when new event types appear before this table learns
+    about them.
+    """
+    record = event if isinstance(event, dict) else event.to_record()
+    kind = record["type"]
+    fields = STABLE_FIELDS.get(kind)
+    stable = {"type": kind}
+    if fields is None:
+        for name, value in record.items():
+            if name != "type" and not isinstance(value, float):
+                stable[name] = value
+        return stable
+    for name in fields:
+        stable[name] = record.get(name)
+    return stable
+
+
+def project_trace(events):
+    """Project a whole trace stream (events or record dicts)."""
+    return [project_event(event) for event in events]
+
+
+def project_telemetry(records):
+    """Reduce ``repro.obs.telemetry/1`` stream records to their
+    float-free, machine-independent core: types, ordering, names, and
+    integer counters.  Times, energies, and rates are excluded (repo
+    golden convention)."""
+    projected = []
+    for record in records:
+        rtype = record["type"]
+        stable = {"type": rtype, "seq": record["seq"]}
+        if rtype == "hello":
+            stable.update(schema=record["schema"], nodes=record["nodes"])
+        elif rtype == "progress":
+            stable.update(events=record["events"],
+                          instructions=record["instructions"])
+        elif rtype == "metrics":
+            stable.update(full=record["full"],
+                          names=sorted(record["values"]))
+        elif rtype == "timeline":
+            stable["rows"] = [
+                {"node": row["node"], "queue_depth": row["queue_depth"],
+                 "radio_mode": row["radio_mode"],
+                 "instructions": row["instructions"]}
+                for row in record["rows"]]
+        elif rtype == "handlers":
+            stable["top"] = [
+                {"node": entry["node"], "handler": entry["handler"],
+                 "instructions": entry["instructions"],
+                 "invocations": entry["invocations"]}
+                for entry in record["top"]]
+        elif rtype == "journeys":
+            stable.update(
+                completed=[done["journey"] for done in record["completed"]],
+                stats={key: value
+                       for key, value in record["stats"].items()
+                       if isinstance(value, (int, dict))})
+        elif rtype == "watchdog":
+            stable.update(checks_total=record["checks_total"])
+        elif rtype == "events":
+            stable["events"] = [event["type"] for event in record["events"]]
+        elif rtype == "bye":
+            stable.update(records_sent=record["records_sent"],
+                          flushes=record["flushes"])
+        projected.append(stable)
+    return projected

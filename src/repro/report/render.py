@@ -38,6 +38,27 @@ def _fmt_delta(result):
     return "%+.1f%%" % (100 * result.delta_rel)
 
 
+def markdown_table(headers, rows):
+    """A GitHub-flavored Markdown table from header names and row
+    tuples; cells are stringified with the scorecard's ``-`` for
+    ``None`` and ``%.4g`` floats.  Shared by the scorecard and the
+    snap-diff divergence report."""
+    lines = ["| %s |" % " | ".join(str(name) for name in headers),
+             "|%s|" % "|".join("---" for _ in headers)]
+    for row in rows:
+        lines.append("| %s |" % " | ".join(_fmt(cell) for cell in row))
+    return "\n".join(lines)
+
+
+def format_signed(value, unit=""):
+    """A delta cell: explicit sign, ``%.4g`` magnitude, optional unit;
+    exact zero renders as ``0`` so unchanged rows read as such."""
+    if not value:
+        return "0"
+    text = "%+.4g" % value
+    return "%s %s" % (text, unit) if unit else text
+
+
 def markdown_scorecard(scorecard, entries=None, baseline_diff=None,
                        title="Paper-fidelity scorecard"):
     """The human-readable scorecard, one table per paper section.

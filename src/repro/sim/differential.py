@@ -279,7 +279,8 @@ def checkpoint_time(sim, horizon, fraction):
     return start + (horizon - start) * fraction
 
 
-def differential(scenario, fast_path, fraction=0.5, via_json=True):
+def differential(scenario, fast_path, fraction=0.5, via_json=True,
+                 localize=False):
     """Run one (scenario, engine) differential; returns a report dict.
 
     Builds the scenario twice.  The *baseline* runs uninterrupted to the
@@ -289,6 +290,11 @@ def differential(scenario, fast_path, fraction=0.5, via_json=True):
     deterministic), restored into a fresh simulator, and resumed to the
     horizon.  ``report["identical"]`` is the verdict;
     ``report["baseline"]``/``report["resumed"]`` hold the full digests.
+
+    With *localize*, a failed differential additionally carries
+    ``report["divergence"]``: the first divergent trace record between
+    the baseline and resumed tails, pinned to node/handler/symbolicated
+    PC by :mod:`repro.obs.diff` (see :func:`localize_divergence`).
     """
     builder = SCENARIOS[scenario]
 
@@ -309,7 +315,7 @@ def differential(scenario, fast_path, fraction=0.5, via_json=True):
     _run(resumed_sim, horizon)
     resumed = network_digest(resumed_sim)
 
-    return {
+    report = {
         "scenario": scenario,
         "fast_path": fast_path,
         "t": t,
@@ -318,20 +324,63 @@ def differential(scenario, fast_path, fraction=0.5, via_json=True):
         "baseline": baseline,
         "resumed": resumed,
     }
+    if localize and not report["identical"]:
+        report["divergence"] = localize_divergence(
+            scenario, fast_path, t, via_json=via_json)
+    return report
+
+
+def localize_divergence(scenario, fast_path, t, via_json=True,
+                        max_probes=12, tail=16):
+    """Pin a failed differential's divergence to its first trace record.
+
+    Rebuilds both sides of the differential at time *t* -- an
+    uninterrupted twin and a capture/restore round trip -- and hands
+    them to :class:`repro.obs.diff.Bisector`: bisect the digests over
+    the tail, re-run the bisected window under the trace bus, and
+    localize the first mismatching record (node, handler, symbolicated
+    PC, flight-recorder tails).  Returns the divergence as a dict (with
+    a rendered ``text``), or ``None`` when the tails never diverge.
+
+    The restore here goes through this module's ``restore`` binding so
+    fault-injection harnesses can intercept exactly the path under test.
+    """
+    from repro.obs.diff import Bisector
+
+    builder = SCENARIOS[scenario]
+
+    def make_baseline():
+        sim, horizon = builder(fast_path)
+        _run(sim, t)
+        return sim, horizon
+
+    def make_resumed():
+        sim, horizon = builder(fast_path)
+        _run(sim, t)
+        ckpt = capture(sim)
+        if via_json:
+            ckpt = Checkpoint.from_json(ckpt.to_json())
+        return restore(ckpt), horizon
+
+    bisector = Bisector(make_baseline, make_resumed, max_probes=max_probes)
+    divergence, _, _ = bisector.localize(
+        tail=tail, label_a="baseline", label_b="resumed")
+    if divergence is None:
+        return None
+    result = divergence.to_dict()
+    result["text"] = divergence.describe()
+    return result
 
 
 def digest_diff(baseline, resumed, prefix=""):
-    """Human-readable paths where two digests differ (for reports)."""
-    diffs = []
-    if isinstance(baseline, dict) and isinstance(resumed, dict):
-        for key in sorted(set(baseline) | set(resumed)):
-            left, right = baseline.get(key), resumed.get(key)
-            if left != right:
-                diffs.extend(digest_diff(left, right,
-                                         "%s%s." % (prefix, key)))
-        return diffs
-    diffs.append("%s: %r != %r" % (prefix.rstrip("."), baseline, resumed))
-    return diffs
+    """Human-readable paths where two digests differ (for reports).
+
+    Alias of :func:`repro.obs.diff.deep_diff_paths`, kept under the
+    name this harness has always exported.
+    """
+    from repro.obs.diff import deep_diff_paths
+
+    return deep_diff_paths(baseline, resumed, prefix)
 
 
 def main(argv=None):
@@ -344,6 +393,10 @@ def main(argv=None):
     parser.add_argument("--fractions", default="0.25,0.75",
                         help="checkpoint points as fractions of the tail")
     parser.add_argument("--json", help="write the full report here")
+    parser.add_argument("--no-localize", dest="localize",
+                        action="store_false", default=True,
+                        help="on divergence, skip snap-diff localization "
+                             "and print only digest paths")
     args = parser.parse_args(argv)
 
     names = list(SCENARIOS) if args.scenarios == "all" \
@@ -358,7 +411,8 @@ def main(argv=None):
     for name in names:
         for fast_path in ENGINES:
             for fraction in fractions:
-                report = differential(name, fast_path, fraction=fraction)
+                report = differential(name, fast_path, fraction=fraction,
+                                      localize=args.localize)
                 reports.append(report)
                 verdict = "ok" if report["identical"] else "DIVERGED"
                 print("%-14s fast_path=%-5s t=%.6fs  %s"
@@ -368,6 +422,10 @@ def main(argv=None):
                     for line in digest_diff(report["baseline"],
                                             report["resumed"])[:20]:
                         print("    " + line)
+                    divergence = report.get("divergence")
+                    if divergence is not None:
+                        for line in divergence["text"].splitlines():
+                            print("    " + line)
 
     if args.json:
         with open(args.json, "w") as handle:

@@ -3,6 +3,12 @@
 import pytest
 
 from repro.asm import LinkError, assemble, link
+from repro.asm.objectfile import (
+    UNKNOWN_LOC,
+    UNMAPPED_FILE,
+    ObjectModule,
+    Program,
+)
 from repro.asm.linker import DMEM_WORDS, IMEM_WORDS
 from repro.isa import Opcode, decode_stream
 
@@ -110,3 +116,63 @@ class TestProgramApi:
     def test_qualified_local_symbols(self):
         program = link([assemble(".loop: halt\n", name="mod")])
         assert program.symbols["mod:.loop"] == 0
+
+
+class TestSymbolication:
+    """``Program.lookup`` edge cases: out-of-range PCs and linker
+    padding must return the typed unknown location, never the nearest
+    preceding table entry."""
+
+    def test_in_range_lookup(self):
+        program = link([assemble("main:\n    movi r1, 1\n    halt\n",
+                                 name="app")])
+        loc = program.lookup(0)
+        assert loc.function == "main"
+        assert loc.file == "app"
+        assert not loc.is_unknown
+
+    def test_out_of_range_pcs_are_unknown(self):
+        program = link([assemble("main: halt\n", name="app")])
+        for pc in (-1, len(program.imem), len(program.imem) + 100, 10**9):
+            loc = program.lookup(pc)
+            assert loc is UNKNOWN_LOC
+            assert loc.is_unknown
+            assert str(loc) == "?"
+
+    def test_non_integer_pc_is_unknown(self):
+        program = link([assemble("main: halt\n", name="app")])
+        assert program.lookup(None) is UNKNOWN_LOC
+        assert program.lookup(0.0) is UNKNOWN_LOC
+        assert program.lookup(True) is UNKNOWN_LOC
+
+    def test_unmapped_module_words_do_not_inherit_previous_lines(self):
+        """A module with text but no line info sits between two mapped
+        modules; its words must not symbolicate to the first module's
+        last source line."""
+        mapped = assemble("first:\n    nop\n    nop\n", name="first")
+        padding = ObjectModule(name="pad", text=[0x0000, 0x0000])
+        tail = assemble("second: halt\n", name="second")
+        program = link([mapped, padding, tail])
+
+        assert program.lookup(1).file == "first"
+        for pc in (2, 3):  # the unmapped module's words
+            assert program.lookup(pc).is_unknown
+            assert program.lookup(pc).file is None
+        loc = program.lookup(4)
+        assert loc.function == "second"
+        assert loc.file == "second"
+
+    def test_sentinel_not_emitted_for_mapped_modules(self):
+        """Modules whose line entries start at offset 0 need no
+        sentinel; every word symbolicates normally."""
+        program = link([assemble("a:\n    nop\n", name="a"),
+                        assemble("b:\n    halt\n", name="b")])
+        assert all(entry[1] != UNMAPPED_FILE
+                   for entry in program.line_table)
+        assert program.lookup(0).file == "a"
+        assert program.lookup(1).file == "b"
+
+    def test_hex_image_with_no_tables_is_unknown(self):
+        program = Program(imem=[0, 0, 0], dmem=[], symbols={})
+        assert program.lookup(1).is_unknown
+        assert program.lookup(5).is_unknown

@@ -22,29 +22,10 @@ from repro.netstack import layout
 from repro.netstack.drivers import build_aodv_node, build_tx_node
 from repro.network import NetworkSimulator
 from repro.node import SensorNode
-from repro.obs import KindFilter, MemorySink, Observability
+from repro.obs import KindFilter, MemorySink, Observability, project_trace
 from repro.tools.snap_net_trace import stage_and_send
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
-
-#: Per-kind fields that must stay stable across runs and refactors.
-#: Times, energies, durations, and latencies are deliberately excluded:
-#: goldens pin structure and ordering, not the energy model's floats.
-STABLE_FIELDS = {
-    "instruction": ("node", "pc", "mnemonic", "handler"),
-    "dispatch": ("node", "event", "handler"),
-    "sleep": ("node",),
-    "wakeup": ("node",),
-    "enqueue": ("node", "event", "depth"),
-    "drop": ("node", "event"),
-    "command": ("node", "command"),
-    "radio_tx": ("node", "word"),
-    "radio_rx": ("node", "word"),
-    "radio_drop": ("node", "word", "reason"),
-    "energy": ("node", "instructions"),
-    "span": ("node", "journey", "span", "parent", "op", "pkt", "src",
-             "dst", "seq", "words", "reason"),
-}
 
 BLINK = """
 boot:
@@ -95,15 +76,12 @@ on_word:
 
 
 def stable_trace(events):
-    """Reduce trace events to their golden (float-free) projection."""
-    reduced = []
-    for event in events:
-        record = event.to_record()
-        stable = {"type": event.kind}
-        for name in STABLE_FIELDS[event.kind]:
-            stable[name] = record[name]
-        reduced.append(stable)
-    return reduced
+    """Reduce trace events to their golden (float-free) projection.
+
+    The projection itself lives in :mod:`repro.obs.project` (shared
+    with the telemetry goldens and the snap-diff alignment engine).
+    """
+    return project_trace(events)
 
 
 def blink_trace():

@@ -39,6 +39,7 @@ from repro.obs import (
     SocketServerTransport,
     TelemetryExporter,
     TelemetryView,
+    project_telemetry,
 )
 from repro.obs.telemetry import SCHEMA, read_stream
 from repro.tools import snap_run, snap_top
@@ -98,49 +99,12 @@ def stream_blink(until=0.2, interval=0.05):
     return buffer.getvalue()
 
 
-#: Reduce stream records to their float-free, machine-independent core:
-#: types, ordering, names, and integer counters.  Times, energies, and
-#: rates are deliberately excluded (repo golden convention).
+#: Reduce stream records to their float-free, machine-independent core
+#: (repo golden convention).  The projection itself lives in
+#: :mod:`repro.obs.project`, shared with the trace goldens and the
+#: snap-diff alignment engine.
 def stable_projection(records):
-    projected = []
-    for record in records:
-        rtype = record["type"]
-        stable = {"type": rtype, "seq": record["seq"]}
-        if rtype == "hello":
-            stable.update(schema=record["schema"], nodes=record["nodes"])
-        elif rtype == "progress":
-            stable.update(events=record["events"],
-                          instructions=record["instructions"])
-        elif rtype == "metrics":
-            stable.update(full=record["full"],
-                          names=sorted(record["values"]))
-        elif rtype == "timeline":
-            stable["rows"] = [
-                {"node": row["node"], "queue_depth": row["queue_depth"],
-                 "radio_mode": row["radio_mode"],
-                 "instructions": row["instructions"]}
-                for row in record["rows"]]
-        elif rtype == "handlers":
-            stable["top"] = [
-                {"node": entry["node"], "handler": entry["handler"],
-                 "instructions": entry["instructions"],
-                 "invocations": entry["invocations"]}
-                for entry in record["top"]]
-        elif rtype == "journeys":
-            stable.update(
-                completed=[done["journey"] for done in record["completed"]],
-                stats={key: value
-                       for key, value in record["stats"].items()
-                       if isinstance(value, (int, dict))})
-        elif rtype == "watchdog":
-            stable.update(checks_total=record["checks_total"])
-        elif rtype == "events":
-            stable["events"] = [event["type"] for event in record["events"]]
-        elif rtype == "bye":
-            stable.update(records_sent=record["records_sent"],
-                          flushes=record["flushes"])
-        projected.append(stable)
-    return projected
+    return project_telemetry(records)
 
 
 # -- metrics diff -------------------------------------------------------------
