@@ -3,6 +3,13 @@
 Paper: 240 MIPS at 1.8 V, 61 at 0.9 V, 28 at 0.6 V; idle-to-active in
 18 gate delays = 2.5 / 9.8 / 21.4 ns.  (The Atmel baseline: 4 MIPS and
 4-65 ms wakeups.)
+
+The per-voltage handler suite runs through the fleet sweep engine
+(:mod:`repro.bench.sweep`, one ``handler_suite`` cell per published
+operating point) and the :class:`ThroughputResult` dump the fidelity
+claims read is reconstructed from the cells -- the suite runs exactly
+once per voltage (throughput and the results summary reduce the same
+rows; the old harness silently re-ran all six scenarios).
 """
 
 import time
@@ -13,26 +20,33 @@ from repro.baseline.energy import (
     WAKEUP_LATENCY_POWER_DOWN_S,
     WAKEUP_LATENCY_POWER_SAVE_S,
 )
-from repro.bench.harness import VOLTAGES, throughput_and_wakeup
+from repro.bench.harness import VOLTAGES, ThroughputResult
 from repro.bench.reporting import dump_results, format_table
-from repro.obs import Observability
+from repro.bench.sweep import Sweep, run_sweep
 
 PAPER_MIPS = {1.8: 240.0, 0.9: 61.0, 0.6: 28.0}
 PAPER_WAKEUP_NS = {1.8: 2.5, 0.9: 9.8, 0.6: 21.4}
 
 
-def run_all_voltages(obs=None):
-    return {voltage: throughput_and_wakeup(voltage, obs=obs)
-            for voltage in VOLTAGES}
+def run_all_voltages(workers=1):
+    """``{voltage: ThroughputResult}`` via one handler_suite sweep."""
+    result = run_sweep(Sweep(scenario="handler_suite",
+                             grid={"voltage": list(VOLTAGES)}),
+                       workers=workers)
+    assert not result.failed_cells, result.failed_cells
+    results = {}
+    for cell in result.cells:
+        replica = cell["replicas"][0]
+        results[replica["voltage"]] = ThroughputResult(
+            voltage=replica["voltage"], mips=replica["mips"],
+            wakeup_latency_s=replica["wakeup_latency_s"])
+    return results
 
 
 def test_throughput_and_wakeup_latency(benchmark):
-    obs = Observability()
     started = time.perf_counter()
-    results = benchmark.pedantic(run_all_voltages, args=(obs,),
-                                 rounds=1, iterations=1)
+    results = benchmark.pedantic(run_all_voltages, rounds=1, iterations=1)
     dump_results("throughput_wakeup", results,
-                 metrics=obs.metrics.snapshot(),
                  wall_time_s=time.perf_counter() - started)
 
     rows = []

@@ -8,6 +8,14 @@ between the published points, plus an idle-power (leakage) study: at ten
 events per second the node is asleep ~99.99% of the time, so the sleep
 floor -- zero for ideal QDI, nonzero with leakage -- dominates the
 budget, which is why the paper cares about leakage estimates.
+
+The curve now runs through the fleet sweep engine
+(:mod:`repro.bench.sweep`): one ``voltage_point`` cell per supply
+voltage, with shared predecode across cells.  The dumped payload keeps
+the historical ``{"sweep": [[v, mips, epi, edp], ...]}`` shape the
+fidelity claims read, and the test cross-checks the engine against the
+direct :func:`repro.bench.ablations.voltage_sweep` runner -- same
+program, same config, bit-identical numbers.
 """
 
 import pytest
@@ -15,19 +23,33 @@ import pytest
 import time
 
 from repro.asm import build
-from repro.bench.ablations import voltage_sweep
+from repro.bench.ablations import SWEEP_VOLTAGES, voltage_sweep
 from repro.bench.reporting import dump_results, format_table
+from repro.bench.sweep import Sweep, run_sweep
 from repro.core import CoreConfig, SnapProcessor
-from repro.obs import Observability
+
+
+def sweep_results(workers=1):
+    """The (voltage, MIPS, energy/ins, energy-delay) curve via the sweep
+    engine; cells come back in grid order, one per voltage."""
+    result = run_sweep(Sweep(scenario="voltage_point",
+                             grid={"voltage": list(SWEEP_VOLTAGES)}),
+                       workers=workers)
+    assert not result.failed_cells, result.failed_cells
+    curve = []
+    for cell in result.cells:
+        replica = cell["replicas"][0]
+        curve.append((replica["voltage"], replica["mips"],
+                      replica["energy_per_instruction"],
+                      replica["energy_delay"]))
+    return curve, result
 
 
 def test_voltage_sweep(benchmark):
-    obs = Observability()
     started = time.perf_counter()
-    results = benchmark.pedantic(voltage_sweep, kwargs={"obs": obs},
-                                 rounds=1, iterations=1)
+    results, sweep = benchmark.pedantic(sweep_results, rounds=1,
+                                        iterations=1)
     dump_results("voltage_sweep", {"sweep": results},
-                 metrics=obs.metrics.snapshot(),
                  wall_time_s=time.perf_counter() - started)
 
     rows = [["%.2f" % v, "%.0f" % mips, "%.1f" % (epi * 1e12),
@@ -37,7 +59,14 @@ def test_voltage_sweep(benchmark):
     print(format_table(["V", "MIPS", "pJ/ins", "E*delay (J*s/ins^2)"], rows,
                        title="Voltage sweep (SNAP/LE-slow direction)"))
 
+    # The sweep engine and the direct runner are the same measurement:
+    # the migration must not move a single bit of the curve.
+    direct = voltage_sweep()
+    assert [tuple(row) for row in results] == \
+        [tuple(row) for row in direct]
+
     voltages = [r[0] for r in results]
+    assert voltages == list(SWEEP_VOLTAGES)
     mips_values = [r[1] for r in results]
     epi_values = [r[2] for r in results]
     # Monotonic: faster and hungrier as the supply rises.

@@ -20,6 +20,14 @@ from repro.bench.harness import (
 )
 from repro.bench.platforms import platform_table
 from repro.bench.reporting import format_table
+from repro.bench.sweep import (
+    SCENARIOS,
+    Sweep,
+    SweepResult,
+    diverging_cells,
+    run_sweep,
+    sweep_scenario,
+)
 
 __all__ = [
     "BlinkComparison",
@@ -33,4 +41,10 @@ __all__ = [
     "throughput_and_wakeup",
     "platform_table",
     "format_table",
+    "SCENARIOS",
+    "Sweep",
+    "SweepResult",
+    "diverging_cells",
+    "run_sweep",
+    "sweep_scenario",
 ]

@@ -18,7 +18,7 @@ from repro.bench.workloads import (
     random_register_values,
 )
 from repro.asm import build
-from repro.core import CoreConfig, SnapProcessor
+from repro.core import CoreConfig, SnapProcessor, TimingModel
 from repro.netstack import (
     build_blink_app,
     build_radiostack_app,
@@ -66,17 +66,23 @@ class ThroughputResult:
     wakeup_latency_s: float
 
 
-def throughput_and_wakeup(voltage, obs=None):
+def throughput_and_wakeup(voltage, obs=None, rows=None):
     """Average throughput over the handler benchmark suite, plus the
-    idle-to-active latency, at one voltage."""
-    rows = handler_table(voltage, obs=obs)
+    idle-to-active latency, at one voltage.
+
+    *rows* optionally supplies precomputed :func:`handler_table` rows
+    (the PR 3 collector pattern), so callers that already ran the
+    six-scenario suite at this voltage -- the fidelity collectors, a
+    sweep cell -- reduce those rows instead of silently re-running the
+    whole suite here."""
+    if rows is None:
+        rows = handler_table(voltage, obs=obs)
     instructions = sum(row.instructions for row in rows)
     busy = sum(row.busy_time for row in rows)
-    processor = SnapProcessor(config=CoreConfig(voltage=voltage))
     return ThroughputResult(
         voltage=voltage,
         mips=instructions / busy / 1e6,
-        wakeup_latency_s=processor.timing.wakeup_latency)
+        wakeup_latency_s=TimingModel(voltage).wakeup_latency)
 
 
 # -- Table 1: handler statistics ----------------------------------------------------------
@@ -391,9 +397,13 @@ class SummaryResult:
     power_at_10hz_high: float
 
 
-def results_summary(voltage, obs=None):
-    """Handler energy range and the active power at ten events/second."""
-    rows = handler_table(voltage, obs=obs)
+def results_summary(voltage, obs=None, rows=None):
+    """Handler energy range and the active power at ten events/second.
+
+    *rows* optionally supplies precomputed :func:`handler_table` rows so
+    shared-run callers do not re-run the six-scenario suite."""
+    if rows is None:
+        rows = handler_table(voltage, obs=obs)
     energies = [row.energy for row in rows]
     return SummaryResult(
         voltage=voltage,

@@ -4,6 +4,7 @@ import dataclasses
 import json
 import os
 import platform
+import tempfile
 
 try:
     import numpy as _numpy
@@ -91,6 +92,29 @@ def dump_results(name, results, metrics=None, directory=None,
                            "machine": platform.machine()}
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, "BENCH_%s.json" % name)
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    return atomic_write_json(path, payload)
+
+
+def atomic_write_json(path, payload):
+    """Write *payload* as JSON to *path* atomically.
+
+    Concurrent writers (parameter-sweep workers dumping into one
+    ``BENCH_RESULTS_DIR``) must never interleave inside one file or
+    leave a half-written dump for a concurrent reader: the payload goes
+    to a uniquely named temp file in the same directory, then lands in
+    one ``os.replace``, so every open() of *path* parses.
+    """
+    directory = os.path.dirname(path) or "."
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
     return path

@@ -19,6 +19,26 @@ _OPERAND_REGS = (1, 2, 3, 4, 5, 6, 7)
 BLOCK_INSTANCES = 250
 LOOP_COUNT = 4
 
+#: Stream indices under one root seed: program text and operand values
+#: draw from independent ``SeedSequence`` children of the same root.
+PROGRAM_STREAM = 0
+VALUES_STREAM = 1
+
+
+def stream_rng(seed, stream):
+    """A ``RandomState`` on an independent, collision-free stream.
+
+    The old derivation -- ``RandomState(seed)`` for program text,
+    ``RandomState(seed + 1)`` for operand values -- made adjacent root
+    seeds alias: seed 1's program stream was bit-identical to seed 0's
+    value stream, so a replica grid stepping seeds by one reused its
+    neighbours' randomness.  ``SeedSequence`` spawn keys hash (entropy,
+    spawn_key) together, so every (seed, stream) pair gets a distinct
+    stream by construction.
+    """
+    child = np.random.SeedSequence(entropy=seed, spawn_key=(stream,))
+    return np.random.RandomState(child.generate_state(8))
+
 
 def _rng_reg(rng):
     return "r%d" % rng.choice(_OPERAND_REGS)
@@ -113,7 +133,7 @@ def class_program(instr_class, seed=0, instances=BLOCK_INSTANCES,
     Returns ``(source, expected_dynamic_instances)``.
     """
     generator = _GENERATORS[instr_class]
-    rng = np.random.RandomState(seed)
+    rng = stream_rng(seed, PROGRAM_STREAM)
     lines = ["    movi r9, %d" % loops, "    movi r8, 0", ".outer:"]
     for _ in range(instances):
         lines.append("    " + generator(rng))
@@ -127,5 +147,5 @@ def class_program(instr_class, seed=0, instances=BLOCK_INSTANCES,
 
 def random_register_values(seed=0):
     """Uniformly distributed random operand values for r1..r7."""
-    rng = np.random.RandomState(seed + 1)
+    rng = stream_rng(seed, VALUES_STREAM)
     return {reg: int(rng.randint(0, 1 << 16)) for reg in _OPERAND_REGS}

@@ -20,7 +20,12 @@ from repro.core.memory import MemoryBank
 from repro.core.lfsr import Lfsr16
 from repro.core.regfile import RegisterFile
 from repro.core.timing import TimingModel
-from repro.core.processor import CoreConfig, SnapProcessor
+from repro.core.processor import (
+    CoreConfig,
+    PredecodeCache,
+    SnapProcessor,
+    shared_predecode,
+)
 
 __all__ = [
     "Kernel",
@@ -35,5 +40,7 @@ __all__ = [
     "RegisterFile",
     "TimingModel",
     "CoreConfig",
+    "PredecodeCache",
     "SnapProcessor",
+    "shared_predecode",
 ]

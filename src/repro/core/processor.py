@@ -25,6 +25,8 @@ See DESIGN.md ("The fast-path execution engine") for the burst/yield
 rule and the bit-identity argument.
 """
 
+import contextlib
+import dataclasses
 import enum
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -92,6 +94,104 @@ class CoreConfig:
     fast_path: bool = True
 
 
+def _calibration_key(calibration):
+    """A hashable identity for a calibration object.
+
+    ``Calibration`` is a frozen dataclass whose ``unit_pj`` dict defeats
+    its own ``__hash__``; fold the fields into tuples instead.  Objects
+    that are not dataclasses fall back to instance identity, which only
+    under-shares (never mis-shares)."""
+    if not dataclasses.is_dataclass(calibration):
+        return id(calibration)
+    fields = []
+    for field in dataclasses.fields(calibration):
+        value = getattr(calibration, field.name)
+        if isinstance(value, dict):
+            value = tuple(sorted(
+                (getattr(key, "value", key), item)
+                for key, item in value.items()))
+        fields.append((field.name, value))
+    return tuple(fields)
+
+
+class PredecodeCache:
+    """Shares predecoded-slot tables across cores running the same
+    (IMEM image, voltage, calibration).
+
+    A slot is a pure function of the instruction word(s), the supply
+    voltage (delay tables), and the energy calibration (interned
+    :class:`EnergyBreakdown`), so every replica of a parameter-sweep
+    cell that loads the same program at the same operating point can
+    reuse the decode work of the first one.  Sharing is bit-transparent:
+    the shared slots are the exact tuples :meth:`SnapProcessor._predecode`
+    would have built.
+
+    Each processor leases a *copy* of the master list at :meth:`load`
+    time and contributes newly decoded slots back -- until its IMEM is
+    written (self-modifying code, pokes, checkpoint restore), at which
+    point it detaches and its divergent slots stay private.
+    """
+
+    def __init__(self):
+        self._masters = {}
+        #: Lease statistics: ``hits`` counts leases that found a master
+        #: table (warm start), ``misses`` leases that created one.
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._masters)
+
+    def lease(self, key, imem_words):
+        """The master slot table for *key*, creating it when new."""
+        master = self._masters.get(key)
+        if master is None:
+            master = [None] * imem_words
+            self._masters[key] = master
+            self.misses += 1
+        else:
+            self.hits += 1
+        return master
+
+    @staticmethod
+    def key_for(image, config):
+        """Cache key for a program image under a core configuration."""
+        return (config.imem_words, config.voltage,
+                _calibration_key(config.calibration), tuple(image))
+
+
+#: Process-wide ambient cache consulted by :meth:`SnapProcessor.load`;
+#: installed by :func:`shared_predecode`, ``None`` (sharing off) outside.
+_SHARED_PREDECODE = None
+
+
+@contextlib.contextmanager
+def shared_predecode(cache=None):
+    """Share predecode tables between every core loaded in this block.
+
+    ::
+
+        with shared_predecode() as cache:
+            for replica in range(n):
+                run_cell(...)   # same program+voltage -> one decode pass
+
+    Nests safely (the previous cache is restored on exit) and is
+    bit-transparent: simulations produce identical meters, traces, and
+    digests with or without it.  Pass an existing :class:`PredecodeCache`
+    to keep tables warm across several blocks (the sweep engine keeps
+    one per worker process).
+    """
+    global _SHARED_PREDECODE
+    previous = _SHARED_PREDECODE
+    if cache is None:
+        cache = PredecodeCache()
+    _SHARED_PREDECODE = cache
+    try:
+        yield cache
+    finally:
+        _SHARED_PREDECODE = previous
+
+
 class SnapProcessor:
     """One SNAP/LE core with its coprocessors."""
 
@@ -147,6 +247,10 @@ class SnapProcessor:
         #: Predecoded IMEM: one slot per word, built lazily by
         #: :meth:`_predecode` and invalidated by the IMEM write hook.
         self._predec = None
+        #: Master table of an ambient :class:`PredecodeCache` this core
+        #: contributes decoded slots to; detached (set to ``None``) on
+        #: the first IMEM write after load.
+        self._predec_master = None
         if self._fast_path:
             self._predec = [None] * self.config.imem_words
             self.imem.write_hook = self._invalidate_predecode
@@ -193,6 +297,16 @@ class SnapProcessor:
         self.dmem.load_image(program.dmem)
         self.pc = program.entry
         self.program = program
+        if self._fast_path and _SHARED_PREDECODE is not None:
+            # Warm-start from the ambient cache: lease the master table
+            # for this (image, operating point), take a private copy of
+            # whatever slots are already decoded, and contribute new ones
+            # back until the first IMEM write detaches us.  (load_image
+            # above already fired the write hook, so attach afterwards.)
+            key = PredecodeCache.key_for(program.imem, self.config)
+            master = _SHARED_PREDECODE.lease(key, self.config.imem_words)
+            self._predec = list(master)
+            self._predec_master = master
         if self.obs is not None:
             self._report_program(program)
 
@@ -287,6 +401,10 @@ class SnapProcessor:
             upper = len(predec)
         for index in range(lower, upper):
             predec[index] = None
+        # The IMEM no longer matches the loaded image: stop contributing
+        # slots to the shared master table (self-modified code must never
+        # pollute other leases of the same program).
+        self._predec_master = None
 
     def _predecode(self, pc):
         """Decode the instruction at *pc* into an executor-bound slot.
@@ -333,6 +451,8 @@ class SnapProcessor:
                 breakdown.mem_if, breakdown.misc, breakdown,
                 r15_reads, meter_safe)
         self._predec[pc] = slot
+        if self._predec_master is not None:
+            self._predec_master[pc] = slot
         return slot
 
     def _raise_budget_exceeded(self):

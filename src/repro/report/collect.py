@@ -31,16 +31,15 @@ from repro.bench.ablations import (
 )
 from repro.bench.harness import (
     VOLTAGES,
-    ThroughputResult,
     blink_comparison,
     energy_breakdown,
     handler_table,
     instruction_class_energy,
     radiostack_comparison,
     sense_comparison,
+    throughput_and_wakeup,
 )
 from repro.bench.reporting import _jsonable
-from repro.core import CoreConfig, SnapProcessor
 from repro.netstack import build_blink_app, build_temperature_app
 from repro.netstack.drivers import build_aodv_node
 from repro.network.experiments import convergecast, lifetime_comparison
@@ -65,16 +64,8 @@ class _Cache:
 
     def throughput(self, voltage):
         if voltage not in self._throughput:
-            # Same reduction as harness.throughput_and_wakeup, but over
-            # the cached handler rows instead of a second full run.
-            rows = self.handler_table(voltage)
-            instructions = sum(row.instructions for row in rows)
-            busy = sum(row.busy_time for row in rows)
-            processor = SnapProcessor(config=CoreConfig(voltage=voltage))
-            self._throughput[voltage] = ThroughputResult(
-                voltage=voltage,
-                mips=instructions / busy / 1e6,
-                wakeup_latency_s=processor.timing.wakeup_latency)
+            self._throughput[voltage] = throughput_and_wakeup(
+                voltage, rows=self.handler_table(voltage))
         return self._throughput[voltage]
 
 

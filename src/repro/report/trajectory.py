@@ -44,7 +44,9 @@ def _flatten_benchmark(name, payload, metrics):
             metrics["fidelity.gate_ok"] = int(bool(gate["ok"]))
         return
     if isinstance(results, dict):
-        if key == "sim_speed":
+        if results.get("schema") == "repro.bench.sweep/1":
+            _flatten_sweep(results, metrics)
+        elif key == "sim_speed":
             for scenario, row in sorted(results.items()):
                 if isinstance(row, dict):
                     for field in ("speedup", "fast_ips"):
@@ -61,6 +63,32 @@ def _flatten_benchmark(name, payload, metrics):
     wall = host.get("wall_time_s")
     if isinstance(wall, (int, float)):
         metrics["%s.wall_time_s" % key] = wall
+
+
+def _flatten_sweep(results, metrics):
+    """Fold a ``repro.bench.sweep/1`` payload into *metrics*: grid
+    health counts plus every cell's replica-mean aggregates, keyed by
+    the cell's parameter label (``sweep.chain_ber.voltage=0.6,
+    bit_error_rate=0.02.total_energy``) so the same operating point is
+    comparable across runs regardless of grid order."""
+    scenario = results.get("scenario", "sweep")
+    prefix = "sweep.%s" % scenario
+    for field in ("cells_total", "cells_ok", "cells_failed"):
+        value = results.get(field)
+        if isinstance(value, (int, float)):
+            metrics["%s.%s" % (prefix, field)] = value
+    for cell in results.get("cells") or ():
+        if not isinstance(cell, dict) or not cell.get("ok"):
+            continue
+        params = cell.get("params") or {}
+        label = ",".join("%s=%s" % (name, params[name])
+                         for name in sorted(params))
+        for field, stats in sorted((cell.get("aggregates") or {}).items()):
+            if field in params or not isinstance(stats, dict):
+                continue
+            mean = stats.get("mean")
+            if isinstance(mean, (int, float)):
+                metrics["%s.%s.%s" % (prefix, label, field)] = mean
 
 
 def scan_run(directory, label=None):

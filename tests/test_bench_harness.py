@@ -2,7 +2,10 @@
 runners, platform table, and reporting."""
 
 import dataclasses
+import itertools
 import json
+import os
+import threading
 
 import pytest
 
@@ -20,8 +23,11 @@ from repro.bench.platforms import LITERATURE_ROWS
 from repro.bench.reporting import dump_results, ratio_note
 from repro.bench.workloads import (
     FIGURE4_CLASSES,
+    PROGRAM_STREAM,
+    VALUES_STREAM,
     class_program,
     random_register_values,
+    stream_rng,
 )
 from repro.core import CoreConfig, SnapProcessor
 from repro.isa.opcodes import InstrClass
@@ -56,6 +62,30 @@ class TestWorkloads:
         c, _ = class_program(InstrClass.ARITH_REG, seed=6)
         assert a == b
         assert a != c
+
+    def test_replica_seed_streams_pairwise_distinct(self):
+        # Regression: the old derivation (RandomState(seed) for program
+        # text, RandomState(seed + 1) for values) aliased across
+        # adjacent root seeds -- seed s's value stream WAS seed s+1's
+        # program stream -- so a replica grid stepping seeds by one
+        # reused its neighbours' randomness.  Every (seed, stream) pair
+        # over a replica grid must now draw a distinct stream.
+        streams = {}
+        for seed in range(8):
+            for stream in (PROGRAM_STREAM, VALUES_STREAM):
+                draw = tuple(stream_rng(seed, stream).randint(
+                    0, 1 << 16, size=16))
+                streams[(seed, stream)] = draw
+        for (key_a, draw_a), (key_b, draw_b) in itertools.combinations(
+                streams.items(), 2):
+            assert draw_a != draw_b, (key_a, key_b)
+
+    def test_adjacent_seed_programs_share_nothing(self):
+        # The concrete old collision: seed 0's register values came from
+        # the same RandomState(1) as seed 1's program text.
+        values_0 = stream_rng(0, VALUES_STREAM).randint(0, 1 << 16, 16)
+        program_1 = stream_rng(1, PROGRAM_STREAM).randint(0, 1 << 16, 16)
+        assert list(values_0) != list(program_1)
 
 
 class TestScenarioRunners:
@@ -97,6 +127,26 @@ class TestScenarioRunners:
         assert summary.min_handler_energy < summary.max_handler_energy
         assert summary.power_at_10hz_low == pytest.approx(
             summary.min_handler_energy * 10)
+
+    def test_precomputed_rows_skip_the_suite(self, monkeypatch):
+        # Regression: throughput_and_wakeup and results_summary used to
+        # silently re-run all six handler scenarios even when the caller
+        # had the rows in hand.  With rows= they must not touch
+        # handler_table at all.
+        import repro.bench.harness as harness
+
+        rows = handler_table(0.6)
+        expected_throughput = throughput_and_wakeup(0.6, rows=rows)
+        expected_summary = results_summary(0.6, rows=rows)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("handler_table re-run despite rows=")
+
+        monkeypatch.setattr(harness, "handler_table", forbidden)
+        throughput = harness.throughput_and_wakeup(0.6, rows=rows)
+        summary = harness.results_summary(0.6, rows=rows)
+        assert throughput == expected_throughput
+        assert summary == expected_summary
 
     def test_blink_comparison_shape(self):
         result = blink_comparison(iterations=5)
@@ -188,3 +238,49 @@ class TestDumpResults:
         assert payload["host"]["wall_time_s"] == 1.25
         assert payload["host"]["python"]
         assert payload["host"]["machine"]
+
+    def test_concurrent_dumps_never_tear(self, tmp_path):
+        # Regression: dump_results used to stream json straight into the
+        # target file, so a concurrent reader (or a second writer) could
+        # see a half-written dump.  Two writers hammering the same name
+        # while a reader polls must always parse a complete payload from
+        # one writer or the other.
+        path = str(tmp_path / "BENCH_torn.json")
+        rounds = 60
+        errors = []
+
+        def writer(tag):
+            payload = {"tag": tag, "bulk": list(range(2000))}
+            try:
+                for _ in range(rounds):
+                    dump_results("torn", payload, directory=str(tmp_path))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            seen = 0
+            while seen < rounds:
+                try:
+                    with open(path) as handle:
+                        payload = json.load(handle)
+                except FileNotFoundError:
+                    continue
+                except ValueError as exc:  # torn JSON
+                    errors.append(exc)
+                    return
+                assert payload["results"]["tag"] in ("a", "b")
+                assert payload["results"]["bulk"][-1] == 1999
+                seen += 1
+
+        threads = [threading.Thread(target=writer, args=("a",)),
+                   threading.Thread(target=writer, args=("b",)),
+                   threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # No abandoned temp files either.
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name.endswith(".tmp")]
+        assert leftovers == []
