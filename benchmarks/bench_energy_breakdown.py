@@ -44,6 +44,19 @@ def test_core_energy_distribution(benchmark):
     print(format_table(["component", "measured", "paper"], rows,
                        title="Section 4.4: core energy distribution"))
 
+    # Provenance view of the same run: where the joules land when
+    # attributed by protocol layer (microbenchmarks run no netstack, so
+    # instruction energy is app-layer and the rest is idle/sleep).
+    layers = result["layer_energy_j"]
+    total = sum(layers.values()) or 1.0
+    layer_rows = [[layer, "%.3f nJ" % (1e9 * joules),
+                   "%.1f%%" % (100 * joules / total)]
+                  for layer, joules in sorted(layers.items(),
+                                              key=lambda kv: -kv[1])
+                  if joules]
+    print(format_table(["layer", "energy", "share"], layer_rows,
+                       title="Per-layer attribution (repro.obs.energy)"))
+
     for bucket, paper_value in PAPER_FRACTIONS.items():
         assert fractions[bucket] == pytest.approx(paper_value, abs=0.05), \
             bucket

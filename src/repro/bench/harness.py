@@ -29,6 +29,7 @@ from repro.netstack import (
 from repro.netstack.drivers import build_aodv_node, build_rx_node, build_tx_node
 from repro.network import NetworkSimulator
 from repro.node import SensorNode
+from repro.obs.energy import layer_split_from_meter
 from repro.sensors import ConstantSensor, TemperatureSensor
 
 #: The paper's three published operating points.
@@ -222,6 +223,7 @@ def energy_breakdown(voltage=1.8, obs=None):
     energy distribution plus the memory share."""
     processor = SnapProcessor(config=CoreConfig(voltage=voltage))
     meter = processor.meter
+    run_meters = []
     for instr_class in FIGURE4_CLASSES:
         source, _ = class_program(instr_class, seed=1)
         runner = SnapProcessor(config=CoreConfig(voltage=voltage))
@@ -231,6 +233,7 @@ def energy_breakdown(voltage=1.8, obs=None):
         for register, value in random_register_values(1).items():
             runner.regs.poke(register, value)
         run_meter = runner.run()
+        run_meters.append(run_meter)
         for bucket, value in run_meter.by_bucket.items():
             meter.by_bucket[bucket] += value
         meter.imem_energy += run_meter.imem_energy
@@ -239,7 +242,12 @@ def energy_breakdown(voltage=1.8, obs=None):
         meter.instructions += run_meter.instructions
     fractions = meter.core_fractions()
     memory_share = meter.memory_energy / meter.total_energy
-    return {"core_fractions": fractions, "memory_share": memory_share}
+    layers = {}
+    for run_meter in run_meters:
+        for layer, joules in layer_split_from_meter(run_meter).items():
+            layers[layer] = layers.get(layer, 0.0) + joules
+    return {"core_fractions": fractions, "memory_share": memory_share,
+            "layer_energy_j": layers}
 
 
 # -- Figure 5 and Section 4.6: the TinyOS comparisons --------------------------------------------

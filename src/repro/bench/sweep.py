@@ -379,6 +379,29 @@ def _cached_program(name, source):
     return program
 
 
+def _energy_fields(meters_and_radios):
+    """Flat per-layer energy summary fields for one cell result.
+
+    *meters_and_radios* is an iterable of ``(meter, radio_energy_j)``
+    pairs.  Returns picojoule-valued numeric fields (``energy_total_pj``
+    plus ``energy_<layer>_pj``) so ``_aggregate`` folds them into the
+    cell aggregates and the trajectory flattener picks them up.
+    """
+    from repro.obs.energy import layer_split_from_meter
+
+    totals = {}
+    grand = 0.0
+    for meter, radio_energy in meters_and_radios:
+        split = layer_split_from_meter(meter, radio_energy=radio_energy)
+        for layer, energy in split.items():
+            totals[layer] = totals.get(layer, 0.0) + energy
+            grand += energy
+    fields = {"energy_total_pj": grand * 1e12}
+    for layer, energy in totals.items():
+        fields["energy_%s_pj" % layer.replace("-", "_")] = energy * 1e12
+    return fields
+
+
 @sweep_scenario("voltage_point")
 def voltage_point(params, seed):
     """One operating point of the Section 6 voltage/energy curve.
@@ -396,10 +419,12 @@ def voltage_point(params, seed):
     meter = processor.run()
     epi = meter.energy_per_instruction
     mips = meter.average_mips()
-    return {"voltage": voltage, "mips": mips,
-            "energy_per_instruction": epi,
-            "energy_delay": epi / (mips * 1e6),
-            "digest": meter_digest(processor)}
+    result = {"voltage": voltage, "mips": mips,
+              "energy_per_instruction": epi,
+              "energy_delay": epi / (mips * 1e6),
+              "digest": meter_digest(processor)}
+    result.update(_energy_fields([(meter, 0.0)]))
+    return result
 
 
 @sweep_scenario("handler_suite")
@@ -479,7 +504,7 @@ def chain_ber(params, seed):
         net.run(until=net.kernel.now + 0.05)
 
     digest = network_digest(net)
-    return {
+    result = {
         "voltage": voltage,
         "bit_error_rate": bit_error_rate,
         "packets": packets,
@@ -492,3 +517,6 @@ def chain_ber(params, seed):
                             for node in net.nodes.values()),
         "digest": digest,
     }
+    result.update(_energy_fields([(node.meter, node.radio.radio_energy())
+                                  for node in net.nodes.values()]))
+    return result

@@ -183,3 +183,67 @@ def equates():
         ("CMD_CCA", CMD_WORD_CCA),
     ]
     return "".join("    .equ %s, %d\n" % (name, value) for name, value in pairs)
+
+
+# -- protocol-layer attribution ------------------------------------------------
+#
+# The energy-provenance ledger (:mod:`repro.obs.energy`) charges every
+# picojoule of guest CPU time to a protocol layer.  Two maps drive the
+# attribution: handler *tags* (the event names the meter already buckets
+# by) give a coarse default, and symbolicated function-name prefixes --
+# the netstack's modules all follow a ``<layer>_`` naming convention --
+# refine it wherever a line table is available.
+
+#: Canonical layer order, top of the stack first.  ``radio`` is the
+#: transceiver's analog front end (air time), ``idle-sleep`` the core's
+#: non-instruction costs (wakeup ramps, event tokens, idle leakage).
+LAYERS = ("app", "aggregation", "reliable", "aodv", "mac", "radio",
+          "idle-sleep")
+
+#: Default handler-tag (event name) -> layer.  Tags the map does not
+#: know fall back to ``app``.
+HANDLER_LAYERS = {
+    "boot": "app",
+    "TIMER0": "app",          # application cadence timers (blink, sense)
+    "TIMER1": "reliable",     # retransmit timer (repro.netstack.reliable)
+    "TIMER2": "mac",          # CSMA backoff timer (repro.netstack.mac)
+    "RADIO_RX": "mac",        # word arrival enters through the MAC
+    "RADIO_TX_DONE": "mac",
+    "SENSOR_IRQ": "app",
+    "QUERY_DONE": "app",
+    "SOFT": "aodv",           # deferred-work chains (discovery/forwarding)
+}
+
+#: Symbolicated function-name prefix -> layer; longest prefix wins.
+FUNCTION_LAYERS = {
+    "mac_": "mac",
+    "agg_": "aggregation",
+    "rel_": "reliable",
+    "aodv_": "aodv",
+    "disc_": "aodv",
+    "rt_": "aodv",
+    "tx_": "mac",
+    "rs_": "reliable",
+}
+
+
+def handler_layer(tag):
+    """The protocol layer a handler tag defaults to."""
+    return HANDLER_LAYERS.get(tag, "app")
+
+
+def function_layer(function, tag=None):
+    """The protocol layer for a symbolicated *function* name.
+
+    Falls back to :func:`handler_layer` on *tag* when the function is
+    unknown or carries no layer-identifying prefix.
+    """
+    if function:
+        best = None
+        for prefix, layer in FUNCTION_LAYERS.items():
+            if function.startswith(prefix) and \
+                    (best is None or len(prefix) > len(best[0])):
+                best = (prefix, layer)
+        if best is not None:
+            return best[1]
+    return handler_layer(tag)

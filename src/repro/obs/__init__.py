@@ -11,6 +11,11 @@ Cooperating pieces, all opt-in and zero-cost when detached:
 * a **profiler** (:mod:`repro.obs.profiler`) attributing time and energy
   per handler and per PC, reconciling against the
   :class:`~repro.energy.accounting.EnergyMeter`;
+* an **energy ledger** (:mod:`repro.obs.energy`) attributing every
+  picojoule to guest source lines (collapsed-stack / speedscope flame
+  graphs), protocol layers, and individual packet journeys, plus
+  battery-lifetime projection -- every view reconciles against the
+  meter with its residual reported (CLI: ``snap-energy``);
 * a **blackbox** (:mod:`repro.obs.blackbox`) -- a bounded flight
   recorder of recently retired instructions and events -- with a
   **watchdog** (:mod:`repro.obs.watchdog`) re-checking simulator
@@ -65,6 +70,12 @@ from repro.obs.diff import (
     compare,
     first_divergence,
     load_trace,
+)
+from repro.obs.energy import (
+    EnergyLedger,
+    LineStat,
+    layer_split_from_meter,
+    project_lifetime,
 )
 from repro.obs.events import EVENT_KINDS, PacketSpan, TimelineSample, TraceEvent
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -133,6 +144,10 @@ __all__ = [
     "Profiler",
     "HandlerProfile",
     "PcProfile",
+    "EnergyLedger",
+    "LineStat",
+    "layer_split_from_meter",
+    "project_lifetime",
     "TimelineSampler",
     "TelemetryExporter",
     "TelemetryView",

@@ -38,12 +38,21 @@ class Observability:
     optional packet-journey tracker."""
 
     def __init__(self, bus=None, metrics=None, profile=False, journeys=False,
-                 flight=False):
+                 flight=False, energy=False):
         self.bus = bus if bus is not None else TraceBus()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = None
         if profile:
             self.profiler = self.bus.attach(Profiler())
+        #: Optional :class:`~repro.obs.energy.EnergyLedger` attributing
+        #: every picojoule to source lines, layers, and packets.
+        self.energy = None
+        if energy:
+            from repro.obs.energy import EnergyLedger
+            self.energy = self.bus.attach(
+                energy if isinstance(energy, EnergyLedger)
+                else EnergyLedger())
+            self.energy.obs = self
         self.journeys = None
         if journeys:
             # Imported lazily: the tracker pulls in the netstack's
@@ -88,6 +97,8 @@ class Observability:
         if self.journeys is not None:
             self.journeys.register(node.node_id, node.name, node.radio.name,
                                    node.radio.config)
+        if self.energy is not None:
+            self.energy.register_node(node)
 
     def register_processor(self, processor):
         """Record a processor's identity (called by
@@ -95,6 +106,8 @@ class Observability:
         self.processors[processor.name] = processor
         if self.flight is not None:
             self.flight.register_processor(processor)
+        if self.energy is not None:
+            self.energy.register_processor(processor)
 
     def program_loaded(self, node, text_words, data_words, imem_words,
                        dmem_words):

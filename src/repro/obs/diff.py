@@ -565,6 +565,54 @@ def aggregate_classes(events):
     return table
 
 
+def aggregate_layers(events, programs=None):
+    """Per ``(node, protocol-layer)`` cost from instruction records.
+
+    Layers come from the netstack layout's maps: the symbolicated
+    function prefix when *programs* carry a line table for the pc,
+    the handler tag's default otherwise.
+    """
+    from repro.netstack.layout import function_layer
+
+    table = {}
+    for record in events:
+        if record.get("type") != "instruction":
+            continue
+        node = record["node"]
+        location = _symbolicate(programs or {}, node, record.get("pc"))
+        function = location.get("function") if location else None
+        layer = function_layer(function, record.get("handler"))
+        key = (node, layer)
+        entry = table.get(key)
+        if entry is None:
+            entry = table[key] = {"count": 0, "energy": 0.0, "time": 0.0}
+        entry["count"] += 1
+        entry["energy"] += record.get("energy") or 0.0
+        entry["time"] += record.get("duration") or 0.0
+    return table
+
+
+def aggregate_lines(events, programs=None):
+    """Per ``(node, function, file, line)`` cost from instruction
+    records -- per-PC rows rolled up through the line tables."""
+    table = {}
+    for record in events:
+        if record.get("type") != "instruction":
+            continue
+        node = record["node"]
+        pc = record.get("pc")
+        location = _symbolicate(programs or {}, node, pc) or {}
+        key = (node, location.get("function") or ("0x%04x" % (pc or 0)),
+               location.get("file") or "", location.get("line") or 0)
+        entry = table.get(key)
+        if entry is None:
+            entry = table[key] = {"count": 0, "energy": 0.0, "time": 0.0}
+        entry["count"] += 1
+        entry["energy"] += record.get("energy") or 0.0
+        entry["time"] += record.get("duration") or 0.0
+    return table
+
+
 def flows_from_events(events):
     """Reassemble journey flows from span records.
 
@@ -652,6 +700,8 @@ def _journey_diff(events_a, events_b):
             if (a["latency_s"] is not None and b["latency_s"] is not None
                     and a["latency_s"] != b["latency_s"]):
                 changed.append("latency")
+            if a["energy_j"] != b["energy_j"]:
+                changed.append("energy")
         flows.append({"key": key, "a": a, "b": b, "changed": changed})
 
     def totals(flows_table):
@@ -735,6 +785,27 @@ def compare(run_a, run_b, mode="full", tail=DEFAULT_TAIL, top=DEFAULT_TOP):
         classes.append(row)
     classes.sort(key=lambda row: -abs(row["d_energy"]))
 
+    layers = []
+    for (node, layer), row in _delta_rows(
+            aggregate_layers(run_a.events, programs),
+            aggregate_layers(run_b.events, programs),
+            ("count", "energy", "time")):
+        row.update(node=node, layer=layer)
+        layers.append(row)
+    layers.sort(key=lambda row: -abs(row["d_energy"]))
+
+    lines = []
+    for (node, function, file, line), row in _delta_rows(
+            aggregate_lines(run_a.events, programs),
+            aggregate_lines(run_b.events, programs),
+            ("count", "energy", "time")):
+        row.update(node=node, function=function, file=file, line=line)
+        lines.append(row)
+    lines.sort(key=lambda row: -abs(row["d_energy"]))
+    line_rows_total = len(lines)
+    if top:
+        lines = lines[:top]
+
     nodes = []
     for node, row in _delta_rows(_node_totals(run_a.events),
                                  _node_totals(run_b.events),
@@ -753,6 +824,9 @@ def compare(run_a, run_b, mode="full", tail=DEFAULT_TAIL, top=DEFAULT_TOP):
         "pcs": pcs,
         "pc_rows_total": pc_rows_total,
         "classes": classes,
+        "layers": layers,
+        "lines": lines,
+        "line_rows_total": line_rows_total,
         "journeys": _journey_diff(run_a.events, run_b.events),
         "metrics": _metrics_diff(run_a.metrics, run_b.metrics),
     }
@@ -824,6 +898,33 @@ def render_markdown(report, top=DEFAULT_TOP):
                      % (len(rows), report["pc_rows_total"]))
         lines.append(markdown_table(
             ("node", "pc", "insn", "source", "energy", "count"), rows))
+
+    rows = [(row["node"], row["layer"],
+             format_signed(row["d_energy"] * 1e9, "nJ"),
+             format_signed(row["d_time"] * 1e3, "ms"),
+             format_signed(row["d_count"]))
+            for row in report.get("layers") or ()
+            if any((row["d_energy"], row["d_time"], row["d_count"]))]
+    if rows:
+        lines.append("## Per-layer energy deltas (b - a)")
+        lines.append(markdown_table(
+            ("node", "layer", "energy", "time", "instructions"), rows))
+
+    rows = []
+    for row in (report.get("lines") or ())[:top]:
+        if not (row["d_energy"] or row["d_count"] or row["d_time"]):
+            continue
+        where = row["function"]
+        if row["file"]:
+            where = "%s %s:%s" % (row["function"], row["file"], row["line"])
+        rows.append((row["node"], where,
+                     format_signed(row["d_energy"] * 1e9, "nJ"),
+                     format_signed(row["d_count"])))
+    if rows:
+        lines.append("## Per-source-line deltas (b - a, top %d of %d)"
+                     % (len(rows), report.get("line_rows_total", len(rows))))
+        lines.append(markdown_table(
+            ("node", "source line", "energy", "count"), rows))
 
     journeys = report["journeys"]
     if journeys["totals"]["a"]["flows"] or journeys["totals"]["b"]["flows"]:

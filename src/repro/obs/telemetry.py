@@ -35,6 +35,13 @@ Records (one JSON object per line; every record carries ``type``,
     The hottest handlers by energy spent *in this window*.
 ``watchdog``
     Invariant checks run since the last flush.
+``energy``
+    Per-protocol-layer energy provenance from an armed
+    :class:`~repro.obs.energy.EnergyLedger`: cumulative and
+    this-window joules per layer, the hottest symbolicated source
+    lines, and the ledger's reconciliation residual against the
+    meters.  Only present when the observability context was built
+    with ``energy=True``.
 ``events``
     Buffered drop-class trace-bus events (event-queue drops, radio
     drops) from this window, with an overflow count when the bounded
@@ -130,6 +137,7 @@ class TelemetryExporter:
         self._last_instructions = 0
         self._last_metrics = None
         self._last_handlers = {}
+        self._last_layers = {}
         self._last_watchdog_checks = 0
         self._last_journey_stats = None
         self._emitted_journeys = set()
@@ -269,6 +277,7 @@ class TelemetryExporter:
             self._emit({"type": "metrics", "full": full, "values": values})
         self._flush_journeys()
         self._flush_handlers()
+        self._flush_energy()
         self._flush_watchdog()
         self._flush_events()
         progress = self._progress_record()
@@ -418,6 +427,34 @@ class TelemetryExporter:
                                        entry["handler"]))
         self._emit({"type": "handlers", "top": deltas[:self.top_handlers]})
 
+    def _flush_energy(self):
+        ledger = getattr(self.obs, "energy", None) if self.obs is not None \
+            else None
+        if ledger is None:
+            return
+        view = ledger.line_view()
+        layers = {}
+        for frame in view["frames"]:
+            layers[frame["layer"]] = layers.get(frame["layer"], 0.0) \
+                + frame["energy_j"]
+        deltas = {}
+        for layer, total in layers.items():
+            delta = total - self._last_layers.get(layer, 0.0)
+            if delta != 0.0:
+                deltas[layer] = delta
+        if not deltas and self._last_layers:
+            return
+        self._last_layers = layers
+        top_lines = [{"node": frame["node"], "layer": frame["layer"],
+                      "name": ledger._frame_name(frame),
+                      "energy_j": frame["energy_j"]}
+                     for frame in view["frames"][:3]]
+        self._emit({"type": "energy", "layers": layers, "deltas": deltas,
+                    "total_j": view["total_j"],
+                    "residual_j": view["residual_j"],
+                    "residual_frac": view["residual_frac"],
+                    "top_lines": top_lines})
+
     def _flush_watchdog(self):
         if self.watchdog is None:
             return
@@ -486,6 +523,7 @@ class TelemetryView:
         self.progress = None
         self.watchdog = None
         self.handlers = []
+        self.energy = None
         self.journey_stats = None
         self.recent_journeys = deque(maxlen=6)
         self.recent_events = deque(maxlen=6)
@@ -569,6 +607,9 @@ class TelemetryView:
     def _apply_handlers(self, record):
         self.handlers = list(record.get("top") or ())
 
+    def _apply_energy(self, record):
+        self.energy = record
+
     def _apply_watchdog(self, record):
         self.watchdog = record
 
@@ -601,6 +642,10 @@ class TelemetryView:
         if handlers:
             lines.append("")
             lines.extend(handlers)
+        energy = self._energy_lines()
+        if energy:
+            lines.append("")
+            lines.extend(energy)
         events = self._event_lines()
         if events:
             lines.append("")
@@ -730,6 +775,31 @@ class TelemetryView:
                 _si(entry.get("energy_j") or 0.0),
                 entry.get("instructions", 0),
                 entry.get("invocations", 0)))
+        return lines
+
+    def _energy_lines(self):
+        record = self.energy
+        if record is None:
+            return []
+        layers = record.get("layers") or {}
+        deltas = record.get("deltas") or {}
+        parts = []
+        for layer, total in sorted(layers.items(), key=lambda kv: -kv[1]):
+            if total <= 0:
+                continue
+            delta = deltas.get(layer)
+            text = "%s %sJ" % (layer, _si(total))
+            if delta:
+                text += " (+%sJ)" % _si(delta)
+            parts.append(text)
+        lines = ["energy by layer: " + (" · ".join(parts) or "(none)")]
+        residual = record.get("residual_frac")
+        if residual is not None:
+            lines[0] += " · residual %.3g%%" % (residual * 100.0)
+        for entry in record.get("top_lines") or ():
+            lines.append("  %-10s %-12s %-32s %6sJ" % (
+                entry.get("node"), entry.get("layer"),
+                entry.get("name"), _si(entry.get("energy_j") or 0.0)))
         return lines
 
     def _event_lines(self):

@@ -35,6 +35,10 @@ Invariant catalogue (see ``docs/OBSERVABILITY.md`` for per-check cost):
 ``aodv_legality``
     Routing-layer counters monotonic; the RREQ duplicate-suppression
     ring index within the table.
+``energy_budget``
+    Each node with a configured joule budget (``budgets={name: J}``)
+    stays under it -- CPU meter plus radio.  Unconfigured nodes are
+    exempt, so the check is a no-op unless budgets are set.
 
 A failed check raises :class:`InvariantViolation` carrying the invariant
 name, the offending component, and -- when a flight recorder is attached
@@ -60,6 +64,7 @@ DEFAULT_INVARIANTS = (
     "queue_bounds",
     "mac_legality",
     "aodv_legality",
+    "energy_budget",
 )
 
 
@@ -84,7 +89,7 @@ class Watchdog:
     """Periodic invariant checker over processors, nodes, and kernels."""
 
     def __init__(self, interval=1e-3, invariants=None, recorder=None,
-                 rel_tolerance=1e-9):
+                 rel_tolerance=1e-9, budgets=None):
         if interval <= 0:
             raise ValueError("watchdog interval must be positive")
         unknown = set(invariants or ()) - set(DEFAULT_INVARIANTS)
@@ -99,6 +104,9 @@ class Watchdog:
         #: loop's write-backs are bit-identical, but component sums are
         #: accumulated in a different order than the total.
         self.rel_tolerance = rel_tolerance
+        #: node name -> energy budget in joules; nodes absent from the
+        #: map are exempt from the ``energy_budget`` invariant.
+        self.budgets = dict(budgets) if budgets else {}
         self.kernel = None
         self.processors = []
         self._nodes = []
@@ -199,6 +207,9 @@ class Watchdog:
                 self._check_mac(node)
             if "aodv_legality" in enabled:
                 self._check_aodv(node)
+        if self.budgets and "energy_budget" in enabled:
+            for node in self._nodes:
+                self._check_budget(node)
 
     def _fail(self, invariant, message, node=None):
         snapshot = None
@@ -328,6 +339,18 @@ class Watchdog:
                        % (seen_idx, layout.SEEN_ENTRIES), node=node.name)
         self._check_counters("aodv_legality", node, dmem, AODV_COUNTER_CELLS,
                              self._aodv_last)
+
+    def _check_budget(self, node):
+        budget = self.budgets.get(node.name)
+        if budget is None:
+            return
+        spent = node.meter.total_energy + node.radio.radio_energy()
+        if spent > budget:
+            self._fail("energy_budget",
+                       "node spent %.6e J of its %.6e J budget "
+                       "(%.1f%% over)"
+                       % (spent, budget, 100.0 * (spent / budget - 1.0)),
+                       node=node.name)
 
     def _check_counters(self, invariant, node, dmem, cells, last_map):
         current = {name: dmem.peek(address)

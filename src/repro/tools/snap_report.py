@@ -130,8 +130,11 @@ def main(argv=None):
         for directory in payload["skipped"]:
             _log("no BENCH_*.json files in %s (skipped)" % directory)
         if not payload["runs"]:
-            _log("no benchmark results in any given directory")
-            return 2
+            # An empty feed is a normal state (fresh checkout, results
+            # not generated yet), not a usage error: say so clearly and
+            # exit 0 so callers can probe without special-casing.
+            _log("no BENCH_*.json runs found in %s -- nothing to "
+                 "aggregate yet" % ", ".join(args.trajectory))
         print(format_trajectory(payload))
         if args.trajectory_json:
             write_trajectory_json(args.trajectory_json, payload)
